@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/core"
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/dtree"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/sim"
+	"oceanstore/internal/simnet"
+	"oceanstore/internal/workload"
+)
+
+// runTwoTier shows §4.3's combined mechanism on a live pool: the
+// fraction of queries the fast probabilistic tier satisfies as filter
+// depth grows, and the global mesh catching everything else.
+func runTwoTier(seed int64) {
+	fmt.Printf("%-6s %-14s %-14s %-14s\n", "depth", "probabilistic", "global", "state/node")
+	for _, depth := range []int{1, 2, 3, 4} {
+		cfg := core.DefaultPoolConfig()
+		cfg.Nodes = 64
+		cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+		p := core.NewPool(seed, cfg)
+		ttCfg := core.DefaultTwoTierConfig()
+		ttCfg.Depth = depth
+		tt := p.EnableTwoTier(ttCfg)
+
+		owner := p.NewClient(63, crypt.NewSigner(p.K.Rand()))
+		var objs []guid.GUID
+		for i := 0; i < 8; i++ {
+			obj, err := owner.Create(fmt.Sprintf("obj-%d", i), []byte("x"))
+			if err != nil {
+				panic(err)
+			}
+			objs = append(objs, obj)
+		}
+		prob, glob := 0, 0
+		for q := 0; q < 300; q++ {
+			from := simnet.NodeID(p.K.Rand().Intn(62))
+			obj := objs[p.K.Rand().Intn(len(objs))]
+			res, err := tt.Locate(from, obj)
+			if err != nil {
+				panic(err)
+			}
+			if res.Probabilistic {
+				prob++
+			} else {
+				glob++
+			}
+		}
+		fmt.Printf("%-6d %3d/300 %8s %3d/300 %8s %6d B\n", depth, prob, "", glob, "", tt.ProbabilisticStateBytes(5))
+	}
+	fmt.Println("\npaper (§4.3): a fast probabilistic algorithm finds nearby objects; misses fall")
+	fmt.Println("through to the slower, deterministic global algorithm")
+}
+
+// runFanout is the dissemination-tree ablation: fanout trades tree
+// depth (delivery latency at the leaves) against per-node send load.
+func runFanout(seed int64) {
+	fmt.Printf("%-8s %-10s %-16s %-14s\n", "fanout", "max depth", "full-tree time", "root sends")
+	for _, fanout := range []int{2, 4, 8, 16} {
+		k := sim.NewKernel(seed)
+		net := simnet.New(k, simnet.Config{BaseLatency: 20 * time.Millisecond, LatencyPerUnit: time.Millisecond})
+		net.AddRandomNodes(200, 50, 1)
+		tr := dtree.New(net, 0, fanout)
+		for i := 1; i < 200; i++ {
+			if err := tr.Join(simnet.NodeID(i)); err != nil {
+				panic(err)
+			}
+		}
+		start := k.Now()
+		var last time.Duration
+		reached := 0
+		tr.OnDeliver(func(n simnet.NodeID, d dtree.Delivery) {
+			reached++
+			last = k.Now() - start
+		})
+		net.ResetStats()
+		tr.Push("u", 4096)
+		k.RunFor(time.Minute)
+		maxDepth := 0
+		for i := 0; i < 200; i++ {
+			if d := tr.Depth(simnet.NodeID(i)); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		rootSends := 0
+		for i := 1; i < 200; i++ {
+			if pnt, _ := tr.Parent(simnet.NodeID(i)); pnt == 0 {
+				rootSends++
+			}
+		}
+		fmt.Printf("%-8d %-10d %-16v %-14d\n", fanout, maxDepth, last, rootSends)
+		if reached != 200 {
+			panic("incomplete dissemination")
+		}
+	}
+	fmt.Println("\nablation: higher fanout flattens the tree (faster leaves) but concentrates")
+	fmt.Println("send load at inner nodes — the tradeoff dissemination trees balance (§4.4.3)")
+}
+
+// runSoak drives a Zipf read/write mix over a maintained pool with
+// background churn — the closest thing to the paper's envisioned
+// steady-state operation.
+func runSoak(seed int64) {
+	cfg := core.DefaultPoolConfig()
+	cfg.Nodes = 48
+	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	p := core.NewPool(seed, cfg)
+	stop := p.StartMaintenance(core.DefaultMaintenanceConfig())
+	defer stop()
+
+	owner := p.NewClient(47, crypt.NewSigner(p.K.Rand()))
+	var objs []guid.GUID
+	for i := 0; i < 10; i++ {
+		obj, err := owner.Create(fmt.Sprintf("soak-%d", i), []byte("."))
+		if err != nil {
+			panic(err)
+		}
+		objs = append(objs, obj)
+		for r := 0; r < 2; r++ {
+			p.AddReplica(obj, simnet.NodeID(10+i*2+r))
+		}
+	}
+	ops := workload.Stream(workload.MixConfig{
+		Objects:       objs,
+		ZipfS:         1.0,
+		WriteFraction: 0.2,
+		MeanWriteSize: 64,
+		Interarrival:  2 * time.Second,
+	}, 200, p.K.Rand())
+
+	sess := owner.NewSession(core.ReadYourWrites | core.MonotonicReads)
+	reads, writes, readErrs := 0, 0, 0
+	var cursor time.Duration
+	for i, op := range ops {
+		p.Run(op.At - cursor)
+		cursor = op.At
+		if op.Write {
+			payload := make([]byte, op.Size)
+			if _, err := sess.Append(op.Object, payload); err == nil {
+				writes++
+			}
+		} else {
+			if _, err := sess.Read(op.Object); err == nil {
+				reads++
+			} else {
+				readErrs++
+			}
+		}
+		// Background churn: a node bounces every 50 ops.
+		if i%50 == 25 {
+			victim := simnet.NodeID(30 + (i/50)%8)
+			p.Net.Node(victim).Down = true
+		}
+		if i%50 == 49 {
+			victim := simnet.NodeID(30 + (i/50)%8)
+			p.Net.Node(victim).Down = false
+		}
+	}
+	p.Run(5 * time.Minute) // drain
+	fmt.Printf("soak complete: %d reads (%d errors), %d writes over %v virtual time\n",
+		reads, readErrs, writes, cursor)
+	st := p.Net.Stats()
+	fmt.Printf("traffic: %d msgs, %.1f MB; drops: %d\n",
+		st.MessagesSent, float64(st.BytesSent)/1e6, st.MessagesDropped)
+	committed := 0
+	for _, obj := range objs {
+		ring, _ := p.Ring(obj)
+		committed += len(ring.PrimaryState().Log.Commits())
+	}
+	fmt.Printf("committed updates across objects: %d/%d\n", committed, writes)
+	if readErrs > 0 {
+		fmt.Println("WARNING: read errors under churn")
+	}
+}

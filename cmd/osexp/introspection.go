@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/core"
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/introspect"
+	"oceanstore/internal/simnet"
+)
+
+// runPrefetch prints E7: prefetcher hit rate vs noise fraction for
+// model orders 0..3, on traces with embedded order-2 correlations.
+func runPrefetch(seed int64) {
+	fmt.Println("trace: repeating order-2 patterns (A,B -> C; X,B -> D) mixed with uniform noise")
+	fmt.Println("metric: top-1 prediction hit rate (400-access traces, 40-access warmup)")
+	fmt.Println()
+	A, B, C, D, X := gg(1), gg(2), gg(3), gg(4), gg(5)
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "noise", "order-0", "order-1", "order-2", "order-3")
+	for _, noise := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		r := rand.New(rand.NewSource(seed))
+		var trace []guid.GUID
+		for len(trace) < 400 {
+			if r.Float64() < noise {
+				trace = append(trace, gg(byte(50+r.Intn(150))))
+				continue
+			}
+			if r.Float64() < 0.5 {
+				trace = append(trace, A, B, C)
+			} else {
+				trace = append(trace, X, B, D)
+			}
+		}
+		fmt.Printf("%-8.1f", noise)
+		for order := 0; order <= 3; order++ {
+			rate := introspect.HitRate(introspect.NewPrefetcher(order), trace, 1, 40)
+			fmt.Printf(" %-10.3f", rate)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper (§5): \"the method correctly captured high-order correlations, even in the")
+	fmt.Println("presence of noise\" — order>=2 models dominate order-0/1 and degrade gracefully")
+}
+
+func gg(b byte) guid.GUID { return guid.FromData([]byte{b}) }
+
+// runReplicaMgmt prints E10: a hot object gains floating replicas near
+// its clients, dropping read latency; when load fades, replicas retire.
+func runReplicaMgmt(seed int64) {
+	cfg := core.DefaultPoolConfig()
+	cfg.Nodes = 48
+	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	p := core.NewPool(seed, cfg)
+	owner := p.NewClient(47, crypt.NewSigner(p.K.Rand()))
+	obj, err := owner.Create("hot-object", []byte("content"))
+	if err != nil {
+		panic(err)
+	}
+	ring, _ := p.Ring(obj)
+
+	// Reader clients scattered across the pool.
+	var readers []*core.Client
+	for i := 30; i < 44; i++ {
+		c := p.NewClient(simnet.NodeID(i), crypt.NewSigner(p.K.Rand()))
+		owner.GrantRead(obj, c)
+		readers = append(readers, c)
+	}
+	meanReadLatency := func() time.Duration {
+		var sum time.Duration
+		for _, c := range readers {
+			// Latency to the closest replica that could serve the read.
+			best := p.Net.Latency(c.Node, 0)
+			for _, sec := range ring.Secondaries() {
+				if l := p.Net.Latency(c.Node, sec.Node); l < best {
+					best = l
+				}
+			}
+			sum += best
+		}
+		return sum / time.Duration(len(readers))
+	}
+
+	mgr := introspect.ManagerConfig{SpawnAbove: 50, RetireBelow: 5, MinReplicas: 0, MaxReplicas: 8}
+	fmt.Printf("%-8s %-10s %-10s %-16s\n", "round", "load", "replicas", "mean read lat")
+	nextNode := 4
+	for round := 0; round < 8; round++ {
+		load := 200.0 // hot phase
+		if round >= 5 {
+			load = 1.0 // load fades
+		}
+		// Aggregate load splits across current replicas (primary counts
+		// as one serving replica).
+		serving := 1 + len(ring.Secondaries())
+		perReplica := load / float64(serving)
+		loads := []introspect.ReplicaLoad{{ReplicaID: -1, Rate: perReplica}}
+		for _, sec := range ring.Secondaries() {
+			loads = append(loads, introspect.ReplicaLoad{ReplicaID: int(sec.Node), Rate: perReplica})
+		}
+		for _, act := range introspect.Decide(loads, mgr) {
+			if act.Spawn && nextNode < 28 {
+				if err := p.AddReplica(obj, simnet.NodeID(nextNode)); err == nil {
+					nextNode++
+				}
+			} else if !act.Spawn && act.Retire >= 0 {
+				p.RemoveReplica(obj, simnet.NodeID(act.Retire))
+			}
+		}
+		p.Run(5 * time.Second)
+		fmt.Printf("%-8d %-10.0f %-10d %-16v\n", round, load, len(ring.Secondaries()), meanReadLatency())
+	}
+	fmt.Println("\npaper (§4.7.2): overloaded replicas request assistance and parents create")
+	fmt.Println("additional floating replicas nearby; disused replicas are eliminated")
+}

@@ -1,0 +1,84 @@
+// Command osexp regenerates every quantitative figure and claim in the
+// OceanStore paper (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	osexp <experiment> [seed]
+//
+// where <experiment> is one of: fig6, latency, reliability, bloom,
+// plaxton, fragments, prefetch, ciphertext, byzfaults, replicamgmt,
+// updatepath, or "all".
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(seed int64)
+}
+
+var experiments = []experiment{
+	{"fig6", "E1: Figure 6 — normalized update cost vs update size (analytic + measured)", runFig6},
+	{"latency", "E2: §4.4.5 — commit latency with 100ms WAN messages", runLatency},
+	{"reliability", "E3: §4.5 — fragment availability vs whole-object replication", runReliability},
+	{"bloom", "E4: §4.3.2 — attenuated Bloom filter location success and stretch", runBloom},
+	{"plaxton", "E5: §4.3.3 — mesh routing hops, locate locality, salted roots", runPlaxton},
+	{"fragments", "E6: §5 — archival reconstruction vs extra fragment requests", runFragments},
+	{"prefetch", "E7: §5 — introspective prefetcher vs noise", runPrefetch},
+	{"ciphertext", "E8: §4.4.2 — ciphertext operations and predicate overhead", runCiphertext},
+	{"byzfaults", "E9: §4.4.3 — Byzantine tier under crash and lying faults", runByzFaults},
+	{"replicamgmt", "E10: §4.7.2 — introspective replica management under load", runReplicaMgmt},
+	{"updatepath", "E11: Figure 5 — end-to-end update path timeline", runUpdatePath},
+	{"twotier", "§4.3 — combined probabilistic + global location on a pool", runTwoTier},
+	{"fanout", "ablation — dissemination tree fanout vs depth and load", runFanout},
+	{"soak", "steady state — Zipf mix over a maintained pool with churn", runSoak},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	seed := int64(1)
+	if len(os.Args) > 2 {
+		s, err := strconv.ParseInt(os.Args[2], 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", os.Args[2], err)
+			os.Exit(2)
+		}
+		seed = s
+	}
+	name := os.Args[1]
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			e.run(seed)
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			e.run(seed)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: osexp <experiment> [seed]")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all          run everything")
+}

@@ -1,0 +1,3 @@
+module oceanstore
+
+go 1.22

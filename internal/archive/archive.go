@@ -1,0 +1,289 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"oceanstore/internal/erasure"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/merkle"
+	"oceanstore/internal/simnet"
+)
+
+// StoredFragment is one self-verifying archival fragment: the coded
+// data plus its sibling hash path to the archive root (§4.5).  The
+// root doubles as the GUID of the immutable archival object.
+type StoredFragment struct {
+	Root  guid.GUID
+	Index int
+	Total int
+	Data  []byte
+	Proof []guid.GUID
+}
+
+// Verify checks the fragment against its own root — retrieved
+// correctly and completely, or not at all.
+func (sf *StoredFragment) Verify() bool {
+	return merkle.Verify(sf.Data, sf.Index, sf.Total, sf.Proof, sf.Root)
+}
+
+// WireSize is the fragment's bytes on the wire.
+func (sf *StoredFragment) WireSize() int {
+	return len(sf.Data) + guid.Size*(len(sf.Proof)+1) + 16
+}
+
+// Config fixes an archive's code geometry.  Rate-1/2 into 32 fragments
+// is the paper's running example; the number of fragments is chosen
+// per-object (§4.5).
+type Config struct {
+	DataShards     int // n
+	TotalFragments int // f
+	// UseTornado selects the fast XOR code instead of Reed-Solomon.
+	UseTornado bool
+	// TornadoSeed fixes the peeling graph.
+	TornadoSeed int64
+}
+
+// Codec builds the erasure codec for this configuration.
+func (c Config) Codec() (erasure.Codec, error) {
+	if c.UseTornado {
+		return erasure.NewTornado(c.DataShards, c.TotalFragments, c.TornadoSeed)
+	}
+	return erasure.NewReedSolomon(c.DataShards, c.TotalFragments)
+}
+
+// Encode erasure-codes data and wraps every fragment with its
+// verification path.  It returns the archival GUID (the tree root) and
+// the fragment set.  The original length is prefixed so reconstruction
+// is self-contained.
+func Encode(data []byte, cfg Config) (guid.GUID, []StoredFragment, error) {
+	codec, err := cfg.Codec()
+	if err != nil {
+		return guid.Zero, nil, err
+	}
+	framed := make([]byte, 8+len(data))
+	framed[0] = byte(len(data) >> 56)
+	framed[1] = byte(len(data) >> 48)
+	framed[2] = byte(len(data) >> 40)
+	framed[3] = byte(len(data) >> 32)
+	framed[4] = byte(len(data) >> 24)
+	framed[5] = byte(len(data) >> 16)
+	framed[6] = byte(len(data) >> 8)
+	framed[7] = byte(len(data))
+	copy(framed[8:], data)
+
+	frags, err := codec.Encode(framed)
+	if err != nil {
+		return guid.Zero, nil, err
+	}
+	leaves := make([][]byte, len(frags))
+	for i, f := range frags {
+		leaves[i] = f.Data
+	}
+	tree := merkle.Build(leaves)
+	root := tree.Root()
+	out := make([]StoredFragment, len(frags))
+	for i, f := range frags {
+		out[i] = StoredFragment{
+			Root:  root,
+			Index: f.Index,
+			Total: len(frags),
+			Data:  f.Data,
+			Proof: tree.Proof(i),
+		}
+	}
+	return root, out, nil
+}
+
+// Decode reconstructs the original data from verified fragments.
+func Decode(frags []StoredFragment, cfg Config) ([]byte, error) {
+	codec, err := cfg.Codec()
+	if err != nil {
+		return nil, err
+	}
+	var es []erasure.Fragment
+	var sample *StoredFragment
+	for i := range frags {
+		if !frags[i].Verify() {
+			continue // self-verification rejects corrupt fragments
+		}
+		es = append(es, erasure.Fragment{Index: frags[i].Index, Data: frags[i].Data})
+		if sample == nil {
+			sample = &frags[i]
+		}
+	}
+	if sample == nil {
+		return nil, erasure.ErrNotEnoughFragments
+	}
+	// The framed length sits in the first 8 bytes; shard length is
+	// uniform, so total framed length = shardLen * n.  Decode with the
+	// maximum possible length, then trim using the embedded prefix.
+	shardLen := len(sample.Data)
+	framedLen := shardLen * cfg.DataShards
+	framed, err := codec.Decode(es, framedLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(framed) < 8 {
+		return nil, errors.New("archive: framed data too short")
+	}
+	n := int(uint64(framed[0])<<56 | uint64(framed[1])<<48 | uint64(framed[2])<<40 |
+		uint64(framed[3])<<32 | uint64(framed[4])<<24 | uint64(framed[5])<<16 |
+		uint64(framed[6])<<8 | uint64(framed[7]))
+	if n < 0 || n > len(framed)-8 {
+		return nil, errors.New("archive: corrupt length prefix")
+	}
+	return framed[8 : 8+n], nil
+}
+
+// Placement maps fragment index → storage node.
+type Placement map[int]simnet.NodeID
+
+// Disperse chooses storage nodes for f fragments so that fragments
+// spread across administrative domains: domains are filled round-robin
+// in reliability order, so no domain holds more than its share and a
+// whole-domain failure costs as few fragments as possible (§4.5:
+// "we avoid dispersing all of our fragments to locations that have a
+// high correlated probability of failure").
+//
+// domainRank orders domains most-reliable-first; unknown domains rank
+// last.  Nodes that are down are skipped.  The seed rotates the
+// starting node within every domain, so successive archives spread over
+// different servers instead of piling onto each domain's first few.
+func Disperse(f int, nodes []*simnet.Node, domainRank []int, seed uint64) (Placement, error) {
+	byDomain := map[int][]*simnet.Node{}
+	for _, n := range nodes {
+		if n.Down {
+			continue
+		}
+		byDomain[n.Domain] = append(byDomain[n.Domain], n)
+	}
+	if len(byDomain) == 0 {
+		return nil, errors.New("archive: no live nodes to disperse onto")
+	}
+	// Order domains: ranked ones first in rank order, the rest after.
+	ranked := append([]int(nil), domainRank...)
+	seen := map[int]bool{}
+	for _, d := range ranked {
+		seen[d] = true
+	}
+	var rest []int
+	for d := range byDomain {
+		if !seen[d] {
+			rest = append(rest, d)
+		}
+	}
+	sort.Ints(rest)
+	order := append(ranked, rest...)
+	var domains []int
+	for _, d := range order {
+		if len(byDomain[d]) > 0 {
+			domains = append(domains, d)
+		}
+	}
+	// Shuffle each domain's node list under the seed so fragments spread
+	// over the whole domain rather than clustering on its first nodes —
+	// a contiguous outage must not take out a whole archive.
+	for d, ns := range byDomain {
+		rng := rand.New(rand.NewSource(int64(seed) ^ int64(d)<<32 ^ 0x5ca1ab1e))
+		rng.Shuffle(len(ns), func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+	}
+	placement := make(Placement, f)
+	cursor := map[int]int{}
+	di := int(seed) % len(domains)
+	if di < 0 {
+		di = 0
+	}
+	for i := 0; i < f; i++ {
+		// Round-robin over domains; within a domain, round-robin nodes.
+		placed := false
+		for try := 0; try < len(domains); try++ {
+			d := domains[(di+try)%len(domains)]
+			ns := byDomain[d]
+			node := ns[cursor[d]%len(ns)]
+			cursor[d]++
+			placement[i] = node.ID
+			di = (di + try + 1) % len(domains)
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("archive: could not place fragment %d", i)
+		}
+	}
+	return placement, nil
+}
+
+// DomainSpread reports how many distinct domains a placement uses and
+// the maximum number of fragments co-located in a single domain.
+func DomainSpread(p Placement, net *simnet.Network) (domains, maxPerDomain int) {
+	count := map[int]int{}
+	for _, nid := range p {
+		count[net.Node(nid).Domain]++
+	}
+	for _, c := range count {
+		if c > maxPerDomain {
+			maxPerDomain = c
+		}
+	}
+	return len(count), maxPerDomain
+}
+
+// NodeStore is the per-server fragment store.
+type NodeStore struct {
+	frags map[guid.GUID]map[int]StoredFragment
+}
+
+// NewNodeStore creates an empty store.
+func NewNodeStore() *NodeStore {
+	return &NodeStore{frags: make(map[guid.GUID]map[int]StoredFragment)}
+}
+
+// Put stores a fragment after verifying it — a well-behaved server
+// refuses garbage.
+func (ns *NodeStore) Put(sf StoredFragment) error {
+	if !sf.Verify() {
+		return errors.New("archive: fragment failed self-verification")
+	}
+	m := ns.frags[sf.Root]
+	if m == nil {
+		m = make(map[int]StoredFragment)
+		ns.frags[sf.Root] = m
+	}
+	m[sf.Index] = sf
+	return nil
+}
+
+// Get fetches a fragment by archive root and index.
+func (ns *NodeStore) Get(root guid.GUID, index int) (StoredFragment, bool) {
+	sf, ok := ns.frags[root][index]
+	return sf, ok
+}
+
+// Indexes lists the fragment indexes held for an archive.
+func (ns *NodeStore) Indexes(root guid.GUID) []int {
+	var out []int
+	for i := range ns.frags[root] {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Drop removes a fragment (disk loss injection for tests).
+func (ns *NodeStore) Drop(root guid.GUID, index int) {
+	delete(ns.frags[root], index)
+}
+
+// retrievalState tracks one in-flight reconstruction.
+type retrievalState struct {
+	cfg      Config
+	deadline time.Duration
+	got      map[int]StoredFragment
+	done     bool
+	cb       func(data []byte, err error, latency time.Duration)
+	started  time.Duration
+}

@@ -1,0 +1,368 @@
+// Package byz implements the Byzantine agreement protocol run by an
+// object's primary tier of replicas (paper §4.4.3–§4.4.5).
+//
+// The primary tier is a small ring of replicas in well-connected parts
+// of the network.  They serialise updates with a three-phase protocol
+// in the style of Castro-Liskov PBFT [10]: the current primary
+// pre-prepares a sequence number for each request; replicas exchange
+// prepare and then commit messages; a replica executes a request once
+// it holds a quorum of 2f+1 commits, and the client accepts a result
+// once f+1 replicas reply.  No more than f of n = 3f+1 replicas may be
+// faulty (§4.4.3 footnote 8).
+//
+// The package runs on the simulated network and accounts every byte,
+// which is how the repository regenerates Figure 6: the per-update cost
+// b = c1·n² + (u + c2)·n + c3, dominated by the n² of small (~100 byte)
+// prepare/commit messages for small updates and by the n pre-prepare
+// payload copies for large ones.
+//
+// A simplified view change provides liveness when the primary crashes:
+// backups time out on client requests the primary never pre-prepared
+// and vote the next view in.  (The full PBFT prepared-certificate
+// transfer is out of scope; experiments exercise crash faults before
+// and lying faults during agreement, not equivocating primaries across
+// view changes.)
+package byz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/simnet"
+)
+
+// Message size constants, matching the paper's "small protocol
+// messages ... on the order of 100 bytes".
+const (
+	CSmall  = 100 // c1: prepare/commit/view-change size
+	CHeader = 100 // c2: pre-prepare header atop the update payload
+	CReply  = 100 // c3: reply size
+)
+
+// Fault is a replica's failure mode for experiments.
+type Fault byte
+
+// Fault modes.
+const (
+	Honest Fault = iota
+	// Crashed replicas send and process nothing.
+	Crashed
+	// Lying replicas participate but vote wrong digests, attempting to
+	// corrupt agreement.
+	Lying
+)
+
+// Request is a client-submitted item for serialisation.
+type Request struct {
+	Tag     guid.GUID // group scope (set by Submit)
+	ID      guid.GUID // request digest (content hash of the update)
+	Payload any
+	Size    int // wire size of the payload, the u of Figure 6
+	// Timestamp is the client's optimistic timestamp; the primary uses
+	// it to guide ordering (§4.4.3).
+	Timestamp time.Duration
+	Client    simnet.NodeID
+}
+
+// Result is what the client learns once f+1 replicas replied.
+type Result struct {
+	Seq       uint64
+	ID        guid.GUID
+	Latency   time.Duration
+	Committed bool
+	// Certificate proves the serialisation to parties that did not
+	// participate in the protocol (§4.4.3: "to allow for later, offline
+	// verification").  It carries f+1 replica signatures over
+	// (tag, seq, digest).
+	Certificate *CommitCertificate
+}
+
+// CommitCertificate is the offline-verifiable commit proof.
+type CommitCertificate struct {
+	Tag    guid.GUID
+	Seq    uint64
+	Digest guid.GUID
+	// Sigs maps replica index to its signature.
+	Sigs map[int][]byte
+}
+
+// certBytes is the signed statement.
+func certBytes(tag guid.GUID, seq uint64, digest guid.GUID) []byte {
+	buf := make([]byte, 0, guid.Size*2+8)
+	buf = append(buf, tag[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = append(buf, digest[:]...)
+	return buf
+}
+
+// Verify checks the certificate against the tier's public keys: at
+// least f+1 distinct replicas must have signed the same statement, so
+// at least one honest replica vouches for it.
+func (c *CommitCertificate) Verify(pubKeys [][]byte, f int) bool {
+	if c == nil {
+		return false
+	}
+	msg := certBytes(c.Tag, c.Seq, c.Digest)
+	valid := 0
+	for idx, sig := range c.Sigs {
+		if idx < 0 || idx >= len(pubKeys) {
+			return false
+		}
+		if crypt.VerifySig(pubKeys[idx], msg, sig) {
+			valid++
+		}
+	}
+	return valid >= f+1
+}
+
+// Executor is invoked on each replica, in sequence order, when a
+// request reaches committed state.  The replica tier uses it to apply
+// updates and spawn archival encoding (§4.4.4).
+type Executor func(seq uint64, req Request)
+
+// wire message kinds (also the simnet accounting tags).
+const (
+	kindRequest    = "byz-request"
+	kindPrePrepare = "byz-preprepare"
+	kindPrepare    = "byz-prepare"
+	kindCommit     = "byz-commit"
+	kindReply      = "byz-reply"
+	kindViewChange = "byz-viewchange"
+)
+
+type prePrepareMsg struct {
+	Tag       guid.GUID
+	View, Seq uint64
+	Req       Request
+}
+
+type voteMsg struct { // prepare or commit
+	Tag       guid.GUID
+	View, Seq uint64
+	Digest    guid.GUID
+	Replica   int
+}
+
+type replyMsg struct {
+	Tag    guid.GUID
+	Seq    uint64
+	ID     guid.GUID
+	Digest guid.GUID
+	From   int
+	// Sig signs (tag, seq, digest) for the offline commit certificate.
+	Sig []byte
+}
+
+type viewChangeMsg struct {
+	Tag     guid.GUID
+	NewView uint64
+	Replica int
+}
+
+// Group is one object's primary tier.
+type Group struct {
+	net      *simnet.Network
+	nodes    []simnet.NodeID
+	f        int
+	replicas []*replica
+	clients  map[simnet.NodeID]*clientState
+	// tag scopes this group's messages; replicas of other groups sharing
+	// the same physical nodes ignore them.
+	tag guid.GUID
+	// signers hold each replica's certificate-signing key.
+	signers []*crypt.Signer
+
+	// RequestTimeout is how long a backup waits for the primary to
+	// pre-prepare a request it saw before voting a view change.
+	RequestTimeout time.Duration
+}
+
+// NewGroup builds a primary tier over the given simnet nodes, wiring a
+// message handler onto each.  len(nodes) must be at least 3f+1.
+func NewGroup(net *simnet.Network, nodes []simnet.NodeID, f int) (*Group, error) {
+	if len(nodes) < 3*f+1 {
+		return nil, fmt.Errorf("byz: %d replicas cannot tolerate %d faults (need 3f+1)", len(nodes), f)
+	}
+	if f < 0 {
+		return nil, errors.New("byz: negative f")
+	}
+	g := &Group{
+		net:            net,
+		nodes:          append([]simnet.NodeID(nil), nodes...),
+		f:              f,
+		clients:        make(map[simnet.NodeID]*clientState),
+		RequestTimeout: 3 * time.Second,
+	}
+	for i, nd := range nodes {
+		r := newReplica(g, i)
+		g.replicas = append(g.replicas, r)
+		g.signers = append(g.signers, crypt.NewSigner(net.K.Rand()))
+		net.Node(nd).Handle(r.handle)
+	}
+	return g, nil
+}
+
+// PublicKeys returns the replicas' certificate-verification keys, in
+// replica order — what an offline verifier needs alongside f.
+func (g *Group) PublicKeys() [][]byte {
+	out := make([][]byte, len(g.signers))
+	for i, s := range g.signers {
+		out[i] = s.Public()
+	}
+	return out
+}
+
+// SetTag scopes the group's protocol messages to an object, so several
+// groups can share physical nodes.  Set before the first Submit.
+func (g *Group) SetTag(tag guid.GUID) { g.tag = tag }
+
+// N returns the tier size.
+func (g *Group) N() int { return len(g.nodes) }
+
+// F returns the fault tolerance.
+func (g *Group) F() int { return g.f }
+
+// SetFault injects a failure mode into replica i.
+func (g *Group) SetFault(i int, f Fault) { g.replicas[i].fault = f }
+
+// SetExecutor installs the committed-update callback on replica i.
+func (g *Group) SetExecutor(i int, e Executor) { g.replicas[i].exec = e }
+
+// Executed returns the IDs executed by replica i, in order — the
+// serialisation the tier chose, for checking agreement in tests.
+func (g *Group) Executed(i int) []guid.GUID {
+	return append([]guid.GUID(nil), g.replicas[i].executed...)
+}
+
+// clientState tracks reply quorums per request for one client node.
+type clientState struct {
+	sent      map[guid.GUID]time.Duration           // submit time
+	replies   map[guid.GUID]map[int]guid.GUID       // req -> replica -> digest
+	sigs      map[guid.GUID]map[int][]byte          // req -> replica -> signature
+	callbacks map[guid.GUID]func(Result)            // completion callbacks
+	seqs      map[guid.GUID]map[uint64]map[int]bool // req -> seq votes
+	done      map[guid.GUID]bool
+}
+
+// Submit sends a request from the given client node to the primary
+// tier.  Following Figure 5 the client sends the full update to the
+// primary and small notifications to the other replicas (which arms
+// their view-change timers).  onDone fires when f+1 matching replies
+// arrive.
+func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
+	cs := g.clients[client]
+	if cs == nil {
+		cs = &clientState{
+			sent:      make(map[guid.GUID]time.Duration),
+			replies:   make(map[guid.GUID]map[int]guid.GUID),
+			sigs:      make(map[guid.GUID]map[int][]byte),
+			callbacks: make(map[guid.GUID]func(Result)),
+			seqs:      make(map[guid.GUID]map[uint64]map[int]bool),
+			done:      make(map[guid.GUID]bool),
+		}
+		g.clients[client] = cs
+		g.net.Node(client).Handle(func(m simnet.Message) { g.clientHandle(client, m) })
+	}
+	req.Client = client
+	req.Tag = g.tag
+	cs.sent[req.ID] = g.net.K.Now()
+	cs.callbacks[req.ID] = onDone
+
+	view := g.currentView()
+	primary := int(view) % len(g.replicas)
+	for i := range g.replicas {
+		if i == primary {
+			g.net.Send(client, g.nodes[i], kindRequest, req, req.Size+CHeader)
+		} else {
+			// Backup notification: digest only.
+			g.net.Send(client, g.nodes[i], kindRequest, Request{Tag: g.tag, ID: req.ID, Timestamp: req.Timestamp, Client: client}, CSmall)
+		}
+	}
+	// PBFT client retransmission: if no quorum of replies arrives, the
+	// primary may have crashed before sharing the payload — resend the
+	// full request to every replica so the post-view-change primary can
+	// propose it.
+	var retransmit func()
+	retransmit = func() {
+		if cs.done[req.ID] {
+			return
+		}
+		for i := range g.replicas {
+			g.net.Send(client, g.nodes[i], kindRequest, req, req.Size+CHeader)
+		}
+		g.net.K.After(2*g.RequestTimeout, retransmit)
+	}
+	g.net.K.After(2*g.RequestTimeout, retransmit)
+}
+
+// currentView reports the highest view any live replica is in — the
+// view a fresh client should address.
+func (g *Group) currentView() uint64 {
+	v := uint64(0)
+	for _, r := range g.replicas {
+		if r.fault != Crashed && r.view > v {
+			v = r.view
+		}
+	}
+	return v
+}
+
+func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
+	rep, ok := m.Payload.(replyMsg)
+	if !ok || rep.Tag != g.tag {
+		return
+	}
+	cs := g.clients[client]
+	if cs == nil || cs.done[rep.ID] {
+		return
+	}
+	if _, known := cs.sent[rep.ID]; !known {
+		return
+	}
+	if cs.replies[rep.ID] == nil {
+		cs.replies[rep.ID] = make(map[int]guid.GUID)
+		cs.sigs[rep.ID] = make(map[int][]byte)
+		cs.seqs[rep.ID] = make(map[uint64]map[int]bool)
+	}
+	cs.replies[rep.ID][rep.From] = rep.Digest
+	cs.sigs[rep.ID][rep.From] = rep.Sig
+	if cs.seqs[rep.ID][rep.Seq] == nil {
+		cs.seqs[rep.ID][rep.Seq] = make(map[int]bool)
+	}
+	cs.seqs[rep.ID][rep.Seq][rep.From] = true
+	// Accept when f+1 replicas agree on the same (seq, digest): at least
+	// one is honest, so the result is correct (§4.4.3).
+	for seq, voters := range cs.seqs[rep.ID] {
+		agree := 0
+		for from := range voters {
+			if cs.replies[rep.ID][from] == rep.ID {
+				agree++
+			}
+		}
+		if agree >= g.f+1 {
+			cs.done[rep.ID] = true
+			cb := cs.callbacks[rep.ID]
+			cert := &CommitCertificate{Tag: g.tag, Seq: seq, Digest: rep.ID, Sigs: make(map[int][]byte)}
+			for from := range voters {
+				if cs.replies[rep.ID][from] == rep.ID {
+					cert.Sigs[from] = cs.sigs[rep.ID][from]
+				}
+			}
+			res := Result{
+				Seq:         seq,
+				ID:          rep.ID,
+				Latency:     g.net.K.Now() - cs.sent[rep.ID],
+				Committed:   true,
+				Certificate: cert,
+			}
+			if cb != nil {
+				cb(res)
+			}
+			return
+		}
+	}
+}

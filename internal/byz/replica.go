@@ -1,0 +1,355 @@
+package byz
+
+import (
+	"time"
+
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/simnet"
+)
+
+// slot tracks agreement state for one (view, seq).  Votes are recorded
+// with the digest they carried; only votes matching the pre-prepared
+// request's digest count toward quorums, which both tolerates
+// out-of-order arrival and defeats lying replicas.
+type slot struct {
+	req       Request
+	hasReq    bool
+	digest    guid.GUID
+	prepares  map[int]guid.GUID
+	commits   map[int]guid.GUID
+	prepared  bool
+	committed bool
+	executed  bool
+}
+
+// quorum counts votes matching the slot's digest.
+func (s *slot) quorum(votes map[int]guid.GUID) int {
+	n := 0
+	for _, d := range votes {
+		if d == s.digest {
+			n++
+		}
+	}
+	return n
+}
+
+// replica is one member of the primary tier.
+type replica struct {
+	g     *Group
+	id    int
+	fault Fault
+	exec  Executor
+
+	view    uint64
+	nextSeq uint64 // primary only: next sequence number to assign
+	slots   map[uint64]*slot
+	// execCursor is the next sequence number to execute, enforcing
+	// in-order execution.
+	execCursor uint64
+	executed   []guid.GUID
+	// pending tracks client requests seen (directly or as notification)
+	// but not yet pre-prepared, for view-change timeouts and re-proposal.
+	pending map[guid.GUID]Request
+	timers  map[guid.GUID]bool
+	// viewVotes collects view-change votes per proposed view.
+	viewVotes map[uint64]map[int]bool
+	// seen maps request ID -> seq to avoid double assignment.
+	assigned map[guid.GUID]uint64
+}
+
+func newReplica(g *Group, id int) *replica {
+	return &replica{
+		g:         g,
+		id:        id,
+		slots:     make(map[uint64]*slot),
+		pending:   make(map[guid.GUID]Request),
+		timers:    make(map[guid.GUID]bool),
+		viewVotes: make(map[uint64]map[int]bool),
+		assigned:  make(map[guid.GUID]uint64),
+	}
+}
+
+func (r *replica) isPrimary() bool { return int(r.view)%len(r.g.replicas) == r.id }
+
+func (r *replica) node() simnet.NodeID { return r.g.nodes[r.id] }
+
+// send multicasts to every other replica.
+func (r *replica) broadcast(kind string, payload any, size int) {
+	for i, nd := range r.g.nodes {
+		if i == r.id {
+			continue
+		}
+		r.g.net.Send(r.node(), nd, kind, payload, size)
+	}
+}
+
+func (r *replica) handle(m simnet.Message) {
+	if r.fault == Crashed {
+		return
+	}
+	switch p := m.Payload.(type) {
+	case Request:
+		if p.Tag == r.g.tag {
+			r.onRequest(p)
+		}
+	case prePrepareMsg:
+		if p.Tag == r.g.tag {
+			r.onPrePrepare(p)
+		}
+	case voteMsg:
+		if p.Tag != r.g.tag {
+			return
+		}
+		if m.Kind == kindPrepare {
+			r.onPrepare(p)
+		} else {
+			r.onCommit(p)
+		}
+	case viewChangeMsg:
+		if p.Tag == r.g.tag {
+			r.onViewChange(p)
+		}
+	}
+}
+
+func (r *replica) onRequest(req Request) {
+	if _, done := r.assigned[req.ID]; done {
+		return
+	}
+	if r.isPrimary() {
+		if req.Payload == nil && req.Size == 0 {
+			// Digest-only notification reached the primary (e.g. after a
+			// view change); it cannot propose without the payload, but it
+			// remembers interest.
+			if _, ok := r.pending[req.ID]; !ok {
+				r.pending[req.ID] = req
+			}
+			return
+		}
+		r.propose(req)
+		return
+	}
+	// Backup: remember the request and arm the view-change timer
+	// (paper: clients send updates to the whole primary tier, Fig 5a).
+	// A full-payload copy (client retransmission) upgrades a digest-only
+	// notification, so this replica can propose if it becomes primary.
+	if old, ok := r.pending[req.ID]; !ok || (old.Payload == nil && req.Payload != nil) {
+		r.pending[req.ID] = req
+	}
+	if !r.timers[req.ID] {
+		r.timers[req.ID] = true
+		id := req.ID
+		r.g.net.K.After(r.g.RequestTimeout, func() { r.requestTimeout(id) })
+	}
+}
+
+// propose assigns the next sequence number and pre-prepares.
+func (r *replica) propose(req Request) {
+	seq := r.nextSeq
+	r.nextSeq++
+	r.assigned[req.ID] = seq
+	delete(r.pending, req.ID)
+	pp := prePrepareMsg{Tag: r.g.tag, View: r.view, Seq: seq, Req: req}
+	r.broadcast(kindPrePrepare, pp, req.Size+CHeader)
+	// The primary acts as having pre-prepared and prepared its own slot.
+	s := r.slot(seq)
+	s.req, s.hasReq, s.digest = req, true, req.ID
+	s.prepares[r.id] = req.ID
+	r.maybePrepared(seq)
+}
+
+func (r *replica) slot(seq uint64) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slot{prepares: make(map[int]guid.GUID), commits: make(map[int]guid.GUID)}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *replica) onPrePrepare(pp prePrepareMsg) {
+	if pp.View != r.view {
+		return
+	}
+	s := r.slot(pp.Seq)
+	if s.hasReq {
+		return
+	}
+	s.req, s.hasReq = pp.Req, true
+	s.digest = pp.Req.ID
+	r.assigned[pp.Req.ID] = pp.Seq
+	delete(r.pending, pp.Req.ID)
+	delete(r.timers, pp.Req.ID)
+
+	// The pre-prepare doubles as the primary's prepare vote (PBFT).
+	s.prepares[int(pp.View)%len(r.g.replicas)] = pp.Req.ID
+
+	digest := pp.Req.ID
+	if r.fault == Lying {
+		digest = guid.FromData([]byte("lie")) // corrupt vote
+	}
+	s.prepares[r.id] = digest
+	r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: pp.Seq, Digest: digest, Replica: r.id}, CSmall)
+	r.maybePrepared(pp.Seq)
+}
+
+func (r *replica) onPrepare(v voteMsg) {
+	if v.View != r.view {
+		return
+	}
+	s := r.slot(v.Seq)
+	s.prepares[v.Replica] = v.Digest
+	r.maybePrepared(v.Seq)
+}
+
+// maybePrepared fires when 2f+1 replicas (including this one) prepared.
+func (r *replica) maybePrepared(seq uint64) {
+	s := r.slot(seq)
+	if s.prepared || !s.hasReq || s.quorum(s.prepares) < 2*r.g.f+1 {
+		return
+	}
+	s.prepared = true
+	digest := s.digest
+	if r.fault == Lying {
+		digest = guid.FromData([]byte("lie"))
+	}
+	s.commits[r.id] = digest
+	r.broadcast(kindCommit, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: digest, Replica: r.id}, CSmall)
+	r.maybeCommitted(seq)
+}
+
+func (r *replica) onCommit(v voteMsg) {
+	if v.View != r.view {
+		return
+	}
+	s := r.slot(v.Seq)
+	s.commits[v.Replica] = v.Digest
+	r.maybeCommitted(v.Seq)
+}
+
+// maybeCommitted fires when 2f+1 commits arrived; executes in order.
+func (r *replica) maybeCommitted(seq uint64) {
+	s := r.slot(seq)
+	if s.committed || !s.prepared || !s.hasReq || s.quorum(s.commits) < 2*r.g.f+1 {
+		return
+	}
+	s.committed = true
+	r.executeReady()
+}
+
+// checkpointWindow bounds retained agreement state: slots this far
+// behind the execution cursor are discarded (PBFT's checkpoint/garbage
+// collection, simplified — votes for long-executed slots are useless).
+const checkpointWindow = 64
+
+// executeReady executes committed slots in sequence order.
+func (r *replica) executeReady() {
+	defer r.truncateLog()
+	for {
+		s, ok := r.slots[r.execCursor]
+		if !ok || !s.committed || s.executed {
+			return
+		}
+		s.executed = true
+		seq := r.execCursor
+		r.execCursor++
+		r.executed = append(r.executed, s.digest)
+		if r.exec != nil && r.fault == Honest {
+			r.exec(seq, s.req)
+		}
+		// Reply to the client (Fig 5c path back), signing the result so
+		// the client can assemble an offline commit certificate.
+		digest := s.digest
+		if r.fault == Lying {
+			digest = guid.FromData([]byte("lie"))
+		}
+		sig := r.g.signers[r.id].Sign(certBytes(r.g.tag, seq, digest))
+		r.g.net.Send(r.node(), s.req.Client, kindReply,
+			replyMsg{Tag: r.g.tag, Seq: seq, ID: s.req.ID, Digest: digest, From: r.id, Sig: sig}, CReply+crypt.SignatureSize)
+	}
+}
+
+// truncateLog discards slots far behind the execution cursor.
+func (r *replica) truncateLog() {
+	if r.execCursor < checkpointWindow {
+		return
+	}
+	floor := r.execCursor - checkpointWindow
+	for seq := range r.slots {
+		if seq < floor {
+			delete(r.slots, seq)
+		}
+	}
+}
+
+// requestTimeout fires when a backup saw a request the primary never
+// pre-prepared: vote to change views.
+func (r *replica) requestTimeout(id guid.GUID) {
+	if r.fault == Crashed {
+		return
+	}
+	if _, still := r.pending[id]; !still {
+		return // pre-prepared in time
+	}
+	delete(r.timers, id)
+	nv := r.view + 1
+	r.voteView(nv)
+	r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: nv, Replica: r.id}, CSmall)
+	// Re-arm: if the new view stalls too, escalate again.
+	r.g.net.K.After(r.g.RequestTimeout, func() { r.requestTimeout(id) })
+	r.timers[id] = true
+}
+
+func (r *replica) onViewChange(vc viewChangeMsg) {
+	if vc.NewView <= r.view {
+		return
+	}
+	if r.viewVotes[vc.NewView] == nil {
+		r.viewVotes[vc.NewView] = make(map[int]bool)
+	}
+	r.viewVotes[vc.NewView][vc.Replica] = true
+	r.maybeNewView(vc.NewView)
+}
+
+func (r *replica) voteView(nv uint64) {
+	if r.viewVotes[nv] == nil {
+		r.viewVotes[nv] = make(map[int]bool)
+	}
+	r.viewVotes[nv][r.id] = true
+	r.maybeNewView(nv)
+}
+
+// maybeNewView installs a new view on 2f+1 votes.  The new primary
+// re-proposes every pending request it holds a payload for.
+func (r *replica) maybeNewView(nv uint64) {
+	if nv <= r.view || len(r.viewVotes[nv]) < 2*r.g.f+1 {
+		return
+	}
+	r.view = nv
+	// Abandon un-pre-prepared slots from the old view; keep committed
+	// state (sequence numbers already executed are final).
+	r.nextSeq = r.execCursor
+	for seq, s := range r.slots {
+		if !s.committed {
+			delete(r.slots, seq)
+			if s.hasReq {
+				delete(r.assigned, s.req.ID)
+				r.pending[s.req.ID] = s.req
+			}
+		}
+	}
+	if r.isPrimary() {
+		// Defer a tick so every replica installs the view first.
+		r.g.net.K.After(time.Millisecond, func() {
+			for id, req := range r.pending {
+				if req.Payload == nil && req.Size == 0 {
+					continue // digest-only notification; client will retry
+				}
+				if _, done := r.assigned[id]; !done {
+					r.propose(req)
+				}
+			}
+		})
+	}
+}

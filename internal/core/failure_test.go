@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/byz"
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/object"
+	"oceanstore/internal/simnet"
+	"oceanstore/internal/update"
+)
+
+func TestPartitionBlocksCommitHealResumes(t *testing.T) {
+	p := smallPool(30)
+	alice := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("part", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := alice.NewSession(ACID)
+
+	// Partition 3 of the 4 primaries away from everyone: no 2f+1 quorum
+	// can form on the client's side of the cut.
+	for _, n := range []simnet.NodeID{1, 2, 3} {
+		p.Net.SetPartition(n, 1)
+	}
+	committed := false
+	sess.OnCommit(func(guid.GUID, update.UpdateID) { committed = true })
+	if _, err := sess.Append(obj, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(time.Minute)
+	if committed {
+		t.Fatal("committed across a partition that prevents quorum")
+	}
+	got, _ := sess.Read(obj)
+	if string(got) != "" {
+		t.Fatalf("partial state visible: %q", got)
+	}
+
+	// Heal: client retransmission re-sends the request and the tier
+	// commits.
+	p.Net.ClearPartitions()
+	p.Run(2 * time.Minute)
+	if !committed {
+		t.Fatal("healed partition did not recover liveness")
+	}
+	got, _ = sess.Read(obj)
+	if string(got) != "x" {
+		t.Fatalf("after heal: %q", got)
+	}
+}
+
+func TestMonotonicWritesChainInOrder(t *testing.T) {
+	p := smallPool(31)
+	alice := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("mw", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := alice.NewSession(MonotonicWrites | ReadCommitted)
+	// Issue three writes back-to-back without advancing time: only the
+	// first may be in flight; the rest are queued client-side.
+	for _, s := range []string{"a", "b", "c"} {
+		if _, err := sess.Append(obj, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring, _ := p.Ring(obj)
+	if got := ring.PrimaryState().Log.Len(); got != 0 {
+		t.Fatalf("log already has %d entries before any time passed", got)
+	}
+	p.Run(2 * time.Minute)
+	got, _ := sess.Read(obj)
+	if string(got) != "abc" {
+		t.Fatalf("MonotonicWrites order: %q, want abc", got)
+	}
+	// All three committed; nothing left queued.
+	if n := len(ring.PrimaryState().Log.Commits()); n != 3 {
+		t.Fatalf("commits = %d", n)
+	}
+}
+
+func TestMonotonicWritesReleasesAfterAbort(t *testing.T) {
+	p := smallPool(32)
+	alice := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("mwa", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := alice.NewSession(MonotonicWrites | ReadCommitted)
+	// First write is doomed (stale guard); second must still go through
+	// once the first aborts.
+	ed, _, err := sess.Editor(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := update.NewVersionGuarded(obj, 999, update.BlockOps(ed.Append([]byte("x"))))
+	sess.Submit(doomed)
+	if _, err := sess.Append(obj, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(2 * time.Minute)
+	got, _ := sess.Read(obj)
+	if string(got) != "ok" {
+		t.Fatalf("queued write after abort: %q", got)
+	}
+}
+
+func TestSecondaryChurnDuringUpdates(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Nodes = 32
+	cfg.BlockSize = 64
+	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	cfg.Ring.GossipInterval = 2 * time.Second
+	p := NewPool(33, cfg)
+	alice := p.NewClient(30, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("churn", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 16; i++ {
+		if err := p.AddReplica(obj, simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess := alice.NewSession(ACID)
+	ring, _ := p.Ring(obj)
+
+	// Interleave updates with secondary crashes and tree repair.
+	for i := 0; i < 4; i++ {
+		if _, err := sess.Append(obj, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		p.Run(20 * time.Second)
+		// Crash one secondary each round; repair the tree.
+		victim := simnet.NodeID(4 + i)
+		p.Net.Node(victim).Down = true
+		ring.Tree().Repair()
+		p.Run(20 * time.Second)
+	}
+	want := "abcd"
+	if got, _ := sess.Read(obj); string(got) != want {
+		t.Fatalf("primary state %q", got)
+	}
+	// Every surviving secondary converged despite churn (gossip plus the
+	// repaired tree).
+	p.Run(2 * time.Minute)
+	for _, sec := range ring.Secondaries() {
+		if p.Net.Node(sec.Node).Down {
+			continue
+		}
+		key, _ := alice.Keys.Key(obj)
+		v := sec.Rep.CommittedState()
+		data, err := readPlain(v, key)
+		if err != nil || string(data) != want {
+			t.Fatalf("secondary %d state %q err %v", sec.Node, data, err)
+		}
+	}
+}
+
+func TestByzantineSecondaryCannotCorruptCommit(t *testing.T) {
+	// A lying primary-tier replica plus an honest majority: the object
+	// state at honest replicas matches what the client wrote.
+	p := smallPool(34)
+	alice := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("lying", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, _ := p.Ring(obj)
+	ring.Group().SetFault(2, byz.Lying)
+	sess := alice.NewSession(ACID)
+	if _, err := sess.Append(obj, []byte("truth")); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(time.Minute)
+	got, _ := sess.Read(obj)
+	if string(got) != "truth" {
+		t.Fatalf("state with lying replica: %q", got)
+	}
+}
+
+func TestDropLossyPoolStillCommits(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.Nodes = 24
+	cfg.BlockSize = 64
+	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	cfg.DropProb = 0.05 // 5% message loss everywhere
+	p := NewPool(35, cfg)
+	alice := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
+	obj, err := alice.Create("lossy", []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := alice.NewSession(ACID)
+	committed := 0
+	sess.OnCommit(func(guid.GUID, update.UpdateID) { committed++ })
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Append(obj, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		p.Run(2 * time.Minute) // retransmissions recover lost messages
+	}
+	if committed != 3 {
+		t.Fatalf("committed %d/3 under 5%% loss", committed)
+	}
+	got, _ := sess.Read(obj)
+	if string(got) != "abc" {
+		t.Fatalf("state %q", got)
+	}
+}
+
+// readPlain decrypts a version directly (test helper).
+func readPlain(v *object.Version, key crypt.BlockKey) ([]byte, error) {
+	return object.NewView(v, key).Read()
+}

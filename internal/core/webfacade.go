@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"oceanstore/internal/naming"
+)
+
+// Gateway is the read-only World Wide Web facade of §4.6/§5: a proxy
+// that serves OceanStore objects over HTTP so legacy browsers can read
+// them.  GET requests map URL paths onto a file-system facade;
+// directories render as HTML listings; a "v" query parameter selects
+// an archived version, making version-qualified permanent hyperlinks
+// clickable.  All methods other than GET and HEAD are rejected — the
+// gateway is strictly read-only.
+type Gateway struct {
+	fs *FS
+}
+
+// NewGateway wraps a file system facade.
+func NewGateway(fs *FS) *Gateway { return &Gateway{fs: fs} }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "oceanstore gateway is read-only", http.StatusMethodNotAllowed)
+		return
+	}
+	path := r.URL.Path
+	if path == "" {
+		path = "/"
+	}
+	// Directory listing?
+	if strings.HasSuffix(path, "/") {
+		g.serveDir(w, r, path)
+		return
+	}
+	g.serveFile(w, r, path)
+}
+
+func (g *Gateway) serveDir(w http.ResponseWriter, r *http.Request, path string) {
+	names, err := g.fs.ReadDir(cleanDirPath(path))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><body><h1>Index of %s</h1><ul>", path)
+	for _, n := range names {
+		fmt.Fprintf(w, `<li><a href="%s%s">%s</a></li>`, path, n, n)
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+func cleanDirPath(p string) string {
+	p = strings.TrimSuffix(p, "/")
+	if p == "" {
+		p = "/"
+	}
+	return p
+}
+
+func (g *Gateway) serveFile(w http.ResponseWriter, r *http.Request, path string) {
+	// Version-qualified read: ?v=N pins an archived version.
+	if vq := r.URL.Query().Get("v"); vq != "" {
+		num, err := strconv.ParseUint(vq, 10, 64)
+		if err != nil {
+			http.Error(w, "bad version", http.StatusBadRequest)
+			return
+		}
+		obj, err := g.fs.Lookup(path)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := g.fs.Session().ReadAt(obj, naming.Ref{HasVersion: true, VersionNum: num})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		w.Write(data)
+		return
+	}
+	data, err := g.fs.ReadFile(path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Write(data)
+}

@@ -1,0 +1,154 @@
+// Package crypt supplies the cryptographic building blocks OceanStore's
+// untrusted-infrastructure design rests on (paper §1.2, §4.2, §4.4.2):
+//
+//   - a position-dependent block cipher, so servers holding only
+//     ciphertext can still evaluate compare-block predicates and apply
+//     replace-block/append actions (§4.4.2);
+//   - searchable encryption in the style of Song-Wagner-Perrig, so a
+//     server can test whether an encrypted document contains a word
+//     without learning the word or being able to start its own
+//     searches (§4.4.2, [47]);
+//   - Ed25519 signing, used for client updates and owner certificates
+//     (§4.2), and a key ring implementing reader restriction by key
+//     distribution.
+//
+// Only clients hold cleartext or keys; everything exported for servers
+// operates on ciphertext.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"oceanstore/internal/guid"
+)
+
+// BlockKey is a symmetric per-object key for block encryption.
+type BlockKey [32]byte
+
+// NewBlockKey derives a fresh random key from r.  Simulation runs pass
+// a seeded source so experiments stay reproducible.
+func NewBlockKey(r *rand.Rand) BlockKey {
+	var k BlockKey
+	for i := 0; i < len(k); i += 8 {
+		binary.BigEndian.PutUint64(k[i:], r.Uint64())
+	}
+	return k
+}
+
+// BlockCipher encrypts object blocks under a position-dependent scheme:
+// the keystream for a block is derived from (key, physical block
+// position).  The cipher is deterministic per (key, position,
+// plaintext), which is exactly what the paper's compare-block predicate
+// needs — a client can hash the expected ciphertext and a server can
+// compare hashes without any key (§4.4.2).
+type BlockCipher struct {
+	key BlockKey
+}
+
+// NewBlockCipher wraps a key.
+func NewBlockCipher(key BlockKey) *BlockCipher { return &BlockCipher{key: key} }
+
+// stream builds the AES-CTR stream for a physical block position.
+func (c *BlockCipher) stream(pos uint64) cipher.Stream {
+	block, err := aes.NewCipher(c.key[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: aes: %v", err)) // 32-byte key; cannot fail
+	}
+	var iv [aes.BlockSize]byte
+	copy(iv[:8], []byte("osblkpos"))
+	binary.BigEndian.PutUint64(iv[8:], pos)
+	return cipher.NewCTR(block, iv[:])
+}
+
+// EncryptBlock encrypts plain as the block at physical position pos.
+func (c *BlockCipher) EncryptBlock(pos uint64, plain []byte) []byte {
+	out := make([]byte, len(plain))
+	c.stream(pos).XORKeyStream(out, plain)
+	return out
+}
+
+// DecryptBlock inverts EncryptBlock.
+func (c *BlockCipher) DecryptBlock(pos uint64, ct []byte) []byte {
+	return c.EncryptBlock(pos, ct) // CTR is an involution
+}
+
+// BlockDigest hashes a ciphertext block.  Both the client (over the
+// expected ciphertext) and the server (over the stored ciphertext) can
+// compute it, enabling the compare-block predicate on ciphertext.
+func BlockDigest(ct []byte) guid.GUID {
+	h := sha1.Sum(ct)
+	var g guid.GUID
+	copy(g[:], h[:])
+	return g
+}
+
+// ---- Signing ----
+
+// Signer holds an Ed25519 key pair and signs client updates and owner
+// certificates.
+type Signer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigner creates a key pair from the seeded source r.
+func NewSigner(r *rand.Rand) *Signer {
+	seed := make([]byte, ed25519.SeedSize)
+	for i := 0; i < len(seed); i += 8 {
+		binary.BigEndian.PutUint64(seed[i:], r.Uint64())
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Signer{pub: priv.Public().(ed25519.PublicKey), priv: priv}
+}
+
+// Public returns the raw public key bytes.
+func (s *Signer) Public() []byte { return []byte(s.pub) }
+
+// GUID returns the signer's identity GUID — the secure hash of its
+// public key (§4.1).
+func (s *Signer) GUID() guid.GUID { return guid.FromPublicKey(s.pub) }
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// VerifySig checks sig over msg under the raw public key pub.
+func VerifySig(pub, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
+}
+
+// SignatureSize is the wire size of a signature, for byte accounting.
+const SignatureSize = ed25519.SignatureSize
+
+// ---- Reader restriction: key ring ----
+
+// KeyRing implements reader restriction (§4.2): data is encrypted and
+// the key distributed to readers.  Revocation re-keys the object; a
+// recently-revoked reader may still read stale cached ciphertext, which
+// the paper accepts as unavoidable.
+type KeyRing struct {
+	keys map[guid.GUID]BlockKey
+}
+
+// NewKeyRing creates an empty ring.
+func NewKeyRing() *KeyRing { return &KeyRing{keys: make(map[guid.GUID]BlockKey)} }
+
+// Grant gives this ring the read key for an object.
+func (kr *KeyRing) Grant(obj guid.GUID, key BlockKey) { kr.keys[obj] = key }
+
+// Revoke removes the key for an object from this ring.
+func (kr *KeyRing) Revoke(obj guid.GUID) { delete(kr.keys, obj) }
+
+// Key looks up the read key for an object.
+func (kr *KeyRing) Key(obj guid.GUID) (BlockKey, bool) {
+	k, ok := kr.keys[obj]
+	return k, ok
+}

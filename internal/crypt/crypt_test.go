@@ -1,0 +1,192 @@
+package crypt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCipherRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	bc := NewBlockCipher(NewBlockKey(r))
+	plain := []byte("persistent object block contents")
+	ct := bc.EncryptBlock(7, plain)
+	if bytes.Equal(ct, plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := bc.DecryptBlock(7, ct); !bytes.Equal(got, plain) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestBlockCipherPositionDependence(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	bc := NewBlockCipher(NewBlockKey(r))
+	plain := []byte("same plaintext")
+	a := bc.EncryptBlock(1, plain)
+	b := bc.EncryptBlock(2, plain)
+	if bytes.Equal(a, b) {
+		t.Fatal("same plaintext at different positions must differ")
+	}
+	// Deterministic per position: required by compare-block.
+	if !bytes.Equal(a, bc.EncryptBlock(1, plain)) {
+		t.Fatal("encryption must be deterministic per (key, position)")
+	}
+	// Different keys must differ.
+	other := NewBlockCipher(NewBlockKey(r))
+	if bytes.Equal(a, other.EncryptBlock(1, plain)) {
+		t.Fatal("different keys produced same ciphertext")
+	}
+}
+
+func TestBlockDigestEnablesCompareBlock(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bc := NewBlockCipher(NewBlockKey(r))
+	plain := []byte("inbox entry 42")
+	// Client computes the digest of the expected ciphertext; server
+	// computes the digest of what it stores; they must agree without the
+	// server ever holding the key.
+	clientSide := BlockDigest(bc.EncryptBlock(3, plain))
+	serverStored := bc.EncryptBlock(3, plain)
+	if BlockDigest(serverStored) != clientSide {
+		t.Fatal("compare-block digests disagree")
+	}
+	serverStored[0] ^= 1
+	if BlockDigest(serverStored) == clientSide {
+		t.Fatal("digest failed to detect modification")
+	}
+}
+
+func TestQuickCipherRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	bc := NewBlockCipher(NewBlockKey(r))
+	f := func(pos uint64, data []byte) bool {
+		return bytes.Equal(bc.DecryptBlock(pos, bc.EncryptBlock(pos, data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignerSignVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := NewSigner(r)
+	msg := []byte("update: append block 9")
+	sig := s.Sign(msg)
+	if !VerifySig(s.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if VerifySig(s.Public(), []byte("update: append block 10"), sig) {
+		t.Fatal("signature verified for altered message")
+	}
+	other := NewSigner(r)
+	if VerifySig(other.Public(), msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	if VerifySig([]byte("short"), msg, sig) {
+		t.Fatal("malformed key accepted")
+	}
+	if VerifySig(s.Public(), msg, sig[:10]) {
+		t.Fatal("malformed signature accepted")
+	}
+}
+
+func TestSignerGUIDSelfCertifying(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a, b := NewSigner(r), NewSigner(r)
+	if a.GUID() == b.GUID() {
+		t.Fatal("distinct signers share a GUID")
+	}
+	if a.GUID().IsZero() {
+		t.Fatal("zero GUID")
+	}
+}
+
+func TestKeyRing(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	kr := NewKeyRing()
+	obj := NewSigner(r).GUID()
+	key := NewBlockKey(r)
+	if _, ok := kr.Key(obj); ok {
+		t.Fatal("key present before grant")
+	}
+	kr.Grant(obj, key)
+	got, ok := kr.Key(obj)
+	if !ok || got != key {
+		t.Fatal("granted key not returned")
+	}
+	kr.Revoke(obj)
+	if _, ok := kr.Key(obj); ok {
+		t.Fatal("revoked key still present")
+	}
+}
+
+func TestSearchFindsWordPositions(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	sk := NewSearchKey(NewBlockKey(r))
+	words := []string{"the", "global", "ocean", "stores", "the", "ocean"}
+	idx := sk.BuildIndex(words)
+
+	hits := idx.Search(sk.Trapdoor("ocean"))
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 5 {
+		t.Fatalf("ocean hits = %v, want [2 5]", hits)
+	}
+	hits = idx.Search(sk.Trapdoor("the"))
+	if len(hits) != 2 || hits[0] != 0 || hits[1] != 4 {
+		t.Fatalf("the hits = %v, want [0 4]", hits)
+	}
+	if hits := idx.Search(sk.Trapdoor("absent")); len(hits) != 0 {
+		t.Fatalf("absent word matched at %v", hits)
+	}
+}
+
+func TestSearchRequiresTrapdoor(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sk := NewSearchKey(NewBlockKey(r))
+	idx := sk.BuildIndex([]string{"secret", "secret", "secret"})
+	// A forged trapdoor (random X) must not match: the server cannot
+	// initiate searches on its own.
+	forged := Trapdoor{X: make([]byte, searchCellWidth), KX: make([]byte, 20)}
+	r.Read(forged.X)
+	r.Read(forged.KX)
+	if hits := idx.Search(forged); len(hits) != 0 {
+		t.Fatalf("forged trapdoor matched at %v", hits)
+	}
+	// A trapdoor from a different key must not match either.
+	otherSK := NewSearchKey(NewBlockKey(r))
+	if hits := idx.Search(otherSK.Trapdoor("secret")); len(hits) != 0 {
+		t.Fatalf("foreign trapdoor matched at %v", hits)
+	}
+	// Malformed trapdoor is rejected outright.
+	if hits := idx.Search(Trapdoor{X: []byte{1}, KX: []byte{2}}); hits != nil {
+		t.Fatal("malformed trapdoor not rejected")
+	}
+}
+
+func TestSearchIndexHidesRepeats(t *testing.T) {
+	// Identical words at different positions must produce different
+	// cells, otherwise the server learns word-frequency structure
+	// without any trapdoor.
+	r := rand.New(rand.NewSource(10))
+	sk := NewSearchKey(NewBlockKey(r))
+	idx := sk.BuildIndex([]string{"same", "same"})
+	if bytes.Equal(idx.Cells[0], idx.Cells[1]) {
+		t.Fatal("repeated word produced identical cells")
+	}
+	if idx.SizeBytes() != 2*searchCellWidth {
+		t.Fatalf("index size = %d", idx.SizeBytes())
+	}
+}
+
+func TestSearchDeterministicAcrossRebuilds(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	master := NewBlockKey(r)
+	a := NewSearchKey(master).BuildIndex([]string{"x", "y"})
+	b := NewSearchKey(master).BuildIndex([]string{"x", "y"})
+	for i := range a.Cells {
+		if !bytes.Equal(a.Cells[i], b.Cells[i]) {
+			t.Fatal("index must be deterministic under the same key")
+		}
+	}
+}

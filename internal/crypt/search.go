@@ -1,0 +1,144 @@
+package crypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+)
+
+// Searchable encryption in the style of Song, Wagner and Perrig [47],
+// which the paper cites for its search predicate: a client builds an
+// encrypted word index; later it can hand a server a *trapdoor* for one
+// word, and the server learns only the boolean result (and the matching
+// positions) — not the word itself, and it cannot initiate searches of
+// its own.
+//
+// Construction (per word position i, cell width W bytes):
+//
+//	X_i  = E(w)              deterministic word encryption, HMAC(kE, w)
+//	k_i  = f(kPrime, X_i)    per-encrypted-word key
+//	S_i  = first L bytes of PRG(kSeed, i)
+//	C_i  = X_i XOR ( S_i || F(k_i, S_i) )
+//
+// A trapdoor for w is (X = E(w), kX = f(kPrime, X)).  The server
+// computes C_i XOR X = (s || t) and accepts when t = F(kX, s).  Without
+// the trapdoor every cell is pseudo-random; with it, only positions
+// holding w match (up to a 2^-(8(W-L)) false-positive floor).
+
+// searchCellWidth is the cell size W; searchPrefixLen is L.
+const (
+	searchCellWidth = 20
+	searchPrefixLen = 8
+)
+
+// SearchKey is the client-side secret for searchable encryption.
+type SearchKey struct {
+	kE     [20]byte // word-encryption key
+	kPrime [20]byte // trapdoor derivation key
+	kSeed  [20]byte // position stream key
+}
+
+// NewSearchKey derives the three sub-keys from a master block key, so
+// an object's read key also unlocks search indexing.
+func NewSearchKey(master BlockKey) SearchKey {
+	var sk SearchKey
+	copy(sk.kE[:], hmacSHA1(master[:], []byte("search:E")))
+	copy(sk.kPrime[:], hmacSHA1(master[:], []byte("search:prime")))
+	copy(sk.kSeed[:], hmacSHA1(master[:], []byte("search:seed")))
+	return sk
+}
+
+func hmacSHA1(key, msg []byte) []byte {
+	m := hmac.New(sha1.New, key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// encryptWord computes X = E(w), truncated to the cell width.
+func (sk SearchKey) encryptWord(word string) []byte {
+	return hmacSHA1(sk.kE[:], []byte(word))[:searchCellWidth]
+}
+
+// wordKey computes k_i = f(kPrime, X).
+func (sk SearchKey) wordKey(x []byte) []byte {
+	return hmacSHA1(sk.kPrime[:], x)
+}
+
+// streamAt computes S_i for position i.
+func (sk SearchKey) streamAt(i int) []byte {
+	var pos [8]byte
+	binary.BigEndian.PutUint64(pos[:], uint64(i))
+	return hmacSHA1(sk.kSeed[:], pos[:])[:searchPrefixLen]
+}
+
+// checkTag computes F(k, s), the verifiable suffix.
+func checkTag(k, s []byte) []byte {
+	return hmacSHA1(k, s)[:searchCellWidth-searchPrefixLen]
+}
+
+// WordIndex is the server-visible encrypted index: one opaque cell per
+// word position.  It reveals nothing about the words without trapdoors.
+type WordIndex struct {
+	Cells [][]byte
+}
+
+// SizeBytes is the index wire size.
+func (idx *WordIndex) SizeBytes() int { return len(idx.Cells) * searchCellWidth }
+
+// BuildIndex encrypts the document's word sequence into an index.
+func (sk SearchKey) BuildIndex(words []string) *WordIndex {
+	idx := &WordIndex{Cells: make([][]byte, len(words))}
+	for i, w := range words {
+		x := sk.encryptWord(w)
+		ki := sk.wordKey(x)
+		s := sk.streamAt(i)
+		cell := make([]byte, searchCellWidth)
+		copy(cell, s)
+		copy(cell[searchPrefixLen:], checkTag(ki, s))
+		for b := 0; b < searchCellWidth; b++ {
+			cell[b] ^= x[b]
+		}
+		idx.Cells[i] = cell
+	}
+	return idx
+}
+
+// Trapdoor authorises a server to test for exactly one word.
+type Trapdoor struct {
+	X  []byte // E(w)
+	KX []byte // f(kPrime, E(w))
+}
+
+// Trapdoor creates the search capability for word.
+func (sk SearchKey) Trapdoor(word string) Trapdoor {
+	x := sk.encryptWord(word)
+	return Trapdoor{X: x, KX: sk.wordKey(x)}
+}
+
+// Search is the SERVER-side operation: it scans the index with a
+// trapdoor and returns the matching positions.  It uses no client
+// secrets — only the trapdoor — matching the paper's claim that the
+// operation "reveals only that a search was performed along with the
+// boolean result".
+func (idx *WordIndex) Search(td Trapdoor) []int {
+	if len(td.X) != searchCellWidth {
+		return nil
+	}
+	var hits []int
+	buf := make([]byte, searchCellWidth)
+	for i, cell := range idx.Cells {
+		if len(cell) != searchCellWidth {
+			continue
+		}
+		for b := 0; b < searchCellWidth; b++ {
+			buf[b] = cell[b] ^ td.X[b]
+		}
+		s := buf[:searchPrefixLen]
+		t := buf[searchPrefixLen:]
+		want := checkTag(td.KX, s)
+		if hmac.Equal(t, want) {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,318 @@
+package dtree
+
+import (
+	"testing"
+	"time"
+
+	"oceanstore/internal/sim"
+	"oceanstore/internal/simnet"
+)
+
+func build(t *testing.T, n, fanout int, seed int64) (*sim.Kernel, *simnet.Network, *Tree) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net := simnet.New(k, simnet.Config{BaseLatency: 10 * time.Millisecond, LatencyPerUnit: time.Millisecond})
+	net.AddRandomNodes(n, 100, 1)
+	tr := New(net, 0, fanout)
+	for i := 1; i < n; i++ {
+		if err := tr.Join(simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, net, tr
+}
+
+func TestJoinBuildsBoundedFanoutTree(t *testing.T) {
+	_, _, tr := build(t, 50, 3, 1)
+	if tr.Len() != 50 {
+		t.Fatalf("members = %d", tr.Len())
+	}
+	// Every non-root has a parent; fanout bound holds.
+	childCount := map[simnet.NodeID]int{}
+	for i := 1; i < 50; i++ {
+		p, err := tr.Parent(simnet.NodeID(i))
+		if err != nil || p == simnet.None {
+			t.Fatalf("node %d parentless: %v", i, err)
+		}
+		childCount[p]++
+	}
+	for p, c := range childCount {
+		if c > 3 {
+			t.Fatalf("node %d has %d children > fanout 3", p, c)
+		}
+	}
+	if tr.Depth(0) != 0 {
+		t.Fatal("root depth must be 0")
+	}
+	if tr.Depth(simnet.NodeID(999)) != -1 {
+		t.Fatal("non-member depth must be -1")
+	}
+	// Rejoining is a no-op.
+	if err := tr.Join(simnet.NodeID(5)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Fatal("rejoin changed membership")
+	}
+}
+
+func TestPushReachesAllMembers(t *testing.T) {
+	k, _, tr := build(t, 40, 4, 2)
+	got := map[simnet.NodeID]string{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { got[n] = d.Payload.(string) })
+	tr.Push("update-7", 4096)
+	k.RunFor(10 * time.Second)
+	if len(got) != 40 {
+		t.Fatalf("delivered to %d/40", len(got))
+	}
+	for n, v := range got {
+		if v != "update-7" {
+			t.Fatalf("node %d got %q", n, v)
+		}
+	}
+}
+
+func TestLowBandwidthLeafGetsInvalidation(t *testing.T) {
+	k, net, tr := build(t, 20, 4, 3)
+	// Pick a leaf (a node with no children) and mark it low-bandwidth.
+	var leaf simnet.NodeID = -1
+	for i := 1; i < 20; i++ {
+		isParent := false
+		for j := 1; j < 20; j++ {
+			if p, _ := tr.Parent(simnet.NodeID(j)); p == simnet.NodeID(i) {
+				isParent = true
+				break
+			}
+		}
+		if !isParent {
+			leaf = simnet.NodeID(i)
+			break
+		}
+	}
+	if leaf < 0 {
+		t.Fatal("no leaf found")
+	}
+	net.Node(leaf).LowBandwidth = true
+
+	deliveries := map[simnet.NodeID]Delivery{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { deliveries[n] = d })
+	net.ResetStats()
+	tr.Push("big-update", 1<<20)
+	k.RunFor(10 * time.Second)
+
+	d, ok := deliveries[leaf]
+	if !ok {
+		t.Fatal("leaf received nothing")
+	}
+	if !d.Invalidated || d.Payload != nil {
+		t.Fatalf("leaf got full update, want invalidation: %+v", d)
+	}
+	// Everyone else got the payload.
+	full := 0
+	for n, dd := range deliveries {
+		if n != leaf && !dd.Invalidated {
+			full++
+		}
+	}
+	if full != 19 {
+		t.Fatalf("full deliveries = %d, want 19", full)
+	}
+	// Invalidation traffic is tiny compared to update traffic.
+	s := net.Stats()
+	if s.ByKind[KindInvalidate] >= s.ByKind[KindUpdate]/10 {
+		t.Fatalf("invalidation bytes %d not small vs update bytes %d",
+			s.ByKind[KindInvalidate], s.ByKind[KindUpdate])
+	}
+}
+
+func TestPullFetchesFromParent(t *testing.T) {
+	k, net, tr := build(t, 10, 3, 4)
+	leafID := simnet.NodeID(9)
+	net.Node(leafID).LowBandwidth = true
+
+	tr.OnPull(func(parent simnet.NodeID) (any, int) { return "fresh-state", 2048 })
+	var got *Delivery
+	if err := tr.Pull(leafID, func(d Delivery) { got = &d }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(5 * time.Second)
+	if got == nil || got.Payload.(string) != "fresh-state" {
+		t.Fatalf("pull result: %+v", got)
+	}
+	// The root cannot pull.
+	if err := tr.Pull(0, nil); err == nil {
+		t.Fatal("root pull accepted")
+	}
+	// Non-members cannot pull.
+	if err := tr.Pull(simnet.NodeID(999), nil); err == nil {
+		t.Fatal("non-member pull accepted")
+	}
+}
+
+func TestLeaveReattachesChildren(t *testing.T) {
+	k, _, tr := build(t, 30, 2, 5)
+	// Find an inner node with children.
+	var inner simnet.NodeID = -1
+	for i := 1; i < 30; i++ {
+		for j := 1; j < 30; j++ {
+			if p, _ := tr.Parent(simnet.NodeID(j)); p == simnet.NodeID(i) {
+				inner = simnet.NodeID(i)
+				break
+			}
+		}
+		if inner >= 0 {
+			break
+		}
+	}
+	if err := tr.Leave(inner); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 29 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Everyone still reachable by a push.
+	got := map[simnet.NodeID]bool{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { got[n] = true })
+	tr.Push("after-leave", 100)
+	k.RunFor(10 * time.Second)
+	if len(got) != 29 {
+		t.Fatalf("push reached %d/29 after leave", len(got))
+	}
+	if err := tr.Leave(0); err == nil {
+		t.Fatal("root leave accepted")
+	}
+	if err := tr.Leave(simnet.NodeID(999)); err == nil {
+		t.Fatal("non-member leave accepted")
+	}
+}
+
+func TestRepairAfterParentCrash(t *testing.T) {
+	k, net, tr := build(t, 30, 2, 6)
+	// Crash a third of the inner nodes.
+	crashed := map[simnet.NodeID]bool{}
+	for i := 1; i < 30; i += 3 {
+		net.Node(simnet.NodeID(i)).Down = true
+		crashed[simnet.NodeID(i)] = true
+	}
+	moved := tr.Repair()
+	if moved == 0 {
+		t.Fatal("repair moved nothing despite crashes")
+	}
+	// Survivors must all be reachable.
+	got := map[simnet.NodeID]bool{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { got[n] = true })
+	tr.Push("after-repair", 100)
+	k.RunFor(10 * time.Second)
+	want := 0
+	for i := 0; i < 30; i++ {
+		if !crashed[simnet.NodeID(i)] {
+			want++
+		}
+	}
+	if len(got) < want {
+		t.Fatalf("push reached %d, want %d live members", len(got), want)
+	}
+	// No member may have a crashed parent anymore.
+	for i := 0; i < 30; i++ {
+		id := simnet.NodeID(i)
+		if crashed[id] || tr.Depth(id) < 0 || id == 0 {
+			continue
+		}
+		p, _ := tr.Parent(id)
+		if crashed[p] {
+			t.Fatalf("node %d still parented to crashed %d", id, p)
+		}
+	}
+}
+
+func TestDepthsStayConsistentAfterReattach(t *testing.T) {
+	_, net, tr := build(t, 30, 2, 7)
+	for i := 1; i < 30; i += 4 {
+		net.Node(simnet.NodeID(i)).Down = true
+	}
+	tr.Repair()
+	// depth(child) == depth(parent) + 1 everywhere.
+	for i := 1; i < 30; i++ {
+		id := simnet.NodeID(i)
+		if tr.Depth(id) < 0 {
+			continue
+		}
+		p, err := tr.Parent(id)
+		if err != nil || p == simnet.None {
+			continue
+		}
+		if tr.Depth(id) != tr.Depth(p)+1 {
+			t.Fatalf("node %d depth %d, parent %d depth %d", id, tr.Depth(id), p, tr.Depth(p))
+		}
+	}
+}
+
+func TestLatencyGreedyParentSelection(t *testing.T) {
+	// A node joining next to an existing member should pick it, not a
+	// distant one.
+	k := sim.NewKernel(8)
+	net := simnet.New(k, simnet.Config{BaseLatency: time.Millisecond, LatencyPerUnit: time.Millisecond})
+	net.AddNode(0, 0)   // 0: root
+	net.AddNode(100, 0) // 1: far member
+	net.AddNode(100, 1) // 2: joins; nearest is 1
+	tr := New(net, 0, 4)
+	if err := tr.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tr.Parent(2)
+	if p != 1 {
+		t.Fatalf("node 2 attached to %d, want 1", p)
+	}
+}
+
+func TestRehomeAfterRootDeath(t *testing.T) {
+	k, net, tr := build(t, 12, 3, 9)
+	net.Node(0).Down = true // kill the root
+	newRoot := simnet.NodeID(11)
+	// 11 is already a member (build joined 1..11); rehome to it.
+	tr.Rehome(newRoot)
+	if tr.Root() != newRoot {
+		t.Fatalf("root = %d", tr.Root())
+	}
+	if tr.Depth(newRoot) != 0 {
+		t.Fatalf("new root depth %d", tr.Depth(newRoot))
+	}
+	// A push now reaches all live members.
+	got := map[simnet.NodeID]bool{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { got[n] = true })
+	tr.Push("after-rehome", 64)
+	k.RunFor(10 * time.Second)
+	want := 0
+	for i := 1; i < 12; i++ {
+		want++
+	}
+	if len(got) < want {
+		t.Fatalf("push reached %d, want %d live members", len(got), want)
+	}
+	// Depth invariant holds everywhere.
+	for i := 0; i < 12; i++ {
+		id := simnet.NodeID(i)
+		p, err := tr.Parent(id)
+		if err != nil || p == simnet.None {
+			continue
+		}
+		if tr.Depth(id) != tr.Depth(p)+1 {
+			t.Fatalf("node %d depth %d, parent %d depth %d", id, tr.Depth(id), p, tr.Depth(p))
+		}
+	}
+	// Rehoming to the current root is a no-op.
+	tr.Rehome(newRoot)
+	if tr.Root() != newRoot {
+		t.Fatal("self-rehome changed root")
+	}
+	// Rehoming to a non-member adds it as the new root.
+	net.AddNode(5, 5)
+	outsider := simnet.NodeID(12)
+	tr.Rehome(outsider)
+	if tr.Root() != outsider || tr.Depth(outsider) != 0 {
+		t.Fatal("outsider rehome failed")
+	}
+}

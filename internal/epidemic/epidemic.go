@@ -1,0 +1,217 @@
+// Package epidemic implements the secondary tier's weak-consistency
+// machinery (paper §4.4.3), in the style of the Bayou system [13].
+//
+// Secondary replicas hold both committed and *tentative* data.  Client
+// updates carry optimistic timestamps; secondaries order tentative
+// updates by timestamp and spread them among themselves with an
+// epidemic (anti-entropy) communication pattern.  When the primary
+// tier's final serialisation arrives, each secondary rolls back its
+// tentative suffix and replays: committed updates apply in the
+// primary's order, and remaining tentative updates re-apply on top in
+// timestamp order.  Because the primary uses the same timestamps to
+// guide its ordering, the tentative order usually matches the final
+// one, and applications that can tolerate tentative data see their
+// writes almost immediately.
+package epidemic
+
+import (
+	"sort"
+	"time"
+
+	"oceanstore/internal/guid"
+	"oceanstore/internal/object"
+	"oceanstore/internal/update"
+)
+
+// Replica is one secondary replica of a single object.
+type Replica struct {
+	// base is the object state at the tail of the committed log.
+	base *object.Version
+	// committed is the final-order log from the primary tier.
+	committed []*update.Update
+	// tentative holds updates not yet committed, kept in timestamp order.
+	tentative []*update.Update
+	seen      map[update.UpdateID]bool
+	// inCommitted guards against double-commit: the same update can
+	// arrive via the dissemination tree AND anti-entropy.
+	inCommitted map[update.UpdateID]bool
+	// vv is a version vector: the highest contiguous Seq seen per client
+	// across both logs, used to summarise state for anti-entropy.
+	vv map[guid.GUID]uint64
+
+	// cached tentative state; invalidated by any log change.
+	cached     *object.Version
+	cacheValid bool
+	// Log records every applied update, commit or abort (§4.4.1).
+	Log *update.Log
+}
+
+// New creates a secondary replica starting from the initial version.
+func New(v0 *object.Version) *Replica {
+	return &Replica{
+		base:        v0,
+		seen:        make(map[update.UpdateID]bool),
+		inCommitted: make(map[update.UpdateID]bool),
+		vv:          make(map[guid.GUID]uint64),
+		Log:         update.NewLog(),
+	}
+}
+
+// tsLess orders updates by (timestamp, client, seq) — the deterministic
+// tentative order every secondary agrees on.
+func tsLess(a, b *update.Update) bool {
+	if a.Timestamp != b.Timestamp {
+		return a.Timestamp < b.Timestamp
+	}
+	if c := a.ClientID.Compare(b.ClientID); c != 0 {
+		return c < 0
+	}
+	return a.Seq < b.Seq
+}
+
+// AddTentative ingests a client update (directly from a client or via
+// anti-entropy).  Duplicates are ignored.  It returns true when the
+// update was new.
+func (r *Replica) AddTentative(u *update.Update) bool {
+	if r.seen[u.ID()] {
+		return false
+	}
+	r.seen[u.ID()] = true
+	i := sort.Search(len(r.tentative), func(i int) bool { return tsLess(u, r.tentative[i]) })
+	r.tentative = append(r.tentative, nil)
+	copy(r.tentative[i+1:], r.tentative[i:])
+	r.tentative[i] = u
+	if u.Seq > r.vv[u.ClientID] {
+		r.vv[u.ClientID] = u.Seq
+	}
+	r.cacheValid = false
+	return true
+}
+
+// Commit applies the primary tier's next committed update, in the final
+// serialisation order.  The update is removed from the tentative set if
+// present; tentative state is rolled back and replayed on demand.
+func (r *Replica) Commit(u *update.Update, now time.Duration) update.Outcome {
+	if r.inCommitted[u.ID()] {
+		// Already serialised here (tree push and anti-entropy can both
+		// deliver the same commit); report the logged outcome.
+		for _, e := range r.Log.Entries() {
+			if e.Update.ID() == u.ID() {
+				return e.Outcome
+			}
+		}
+		return update.Outcome{Committed: false, Guard: -1}
+	}
+	r.inCommitted[u.ID()] = true
+	if !r.seen[u.ID()] {
+		r.seen[u.ID()] = true
+		if u.Seq > r.vv[u.ClientID] {
+			r.vv[u.ClientID] = u.Seq
+		}
+	}
+	// Drop from tentative if present.
+	for i, tu := range r.tentative {
+		if tu.ID() == u.ID() {
+			r.tentative = append(r.tentative[:i], r.tentative[i+1:]...)
+			break
+		}
+	}
+	r.committed = append(r.committed, u)
+	next, out, err := update.Apply(u, r.base, now)
+	if err == nil && out.Committed {
+		r.base = next
+	}
+	// Aborts leave base untouched but are still logged (§4.4.1).
+	r.Log.Append(u, out, now)
+	r.cacheValid = false
+	return out
+}
+
+// CommittedState returns the object at the tail of the committed log —
+// what a session demanding full consistency reads.
+func (r *Replica) CommittedState() *object.Version { return r.base }
+
+// TentativeState returns committed state plus tentative updates applied
+// in timestamp order — what an optimistic session reads.  The replay is
+// recomputed after any log change (Bayou rollback/replay).
+func (r *Replica) TentativeState(now time.Duration) *object.Version {
+	if r.cacheValid {
+		return r.cached
+	}
+	v := r.base
+	for _, u := range r.tentative {
+		next, out, err := update.Apply(u, v, now)
+		if err == nil && out.Committed {
+			v = next
+		}
+	}
+	r.cached, r.cacheValid = v, true
+	return v
+}
+
+// CommittedLen returns the committed log length (the commit sequence
+// number the replica has reached).
+func (r *Replica) CommittedLen() int { return len(r.committed) }
+
+// TentativeLen returns the number of pending tentative updates.
+func (r *Replica) TentativeLen() int { return len(r.tentative) }
+
+// Tentative returns the tentative updates in the agreed tentative order.
+func (r *Replica) Tentative() []*update.Update {
+	return append([]*update.Update(nil), r.tentative...)
+}
+
+// Seen reports whether the replica has the update in either log.
+func (r *Replica) Seen(id update.UpdateID) bool { return r.seen[id] }
+
+// VersionVector returns a copy of the replica's version vector.
+func (r *Replica) VersionVector() map[guid.GUID]uint64 {
+	out := make(map[guid.GUID]uint64, len(r.vv))
+	for k, v := range r.vv {
+		out[k] = v
+	}
+	return out
+}
+
+// Dominates reports whether this replica has seen everything summarised
+// by the other vector — the session-guarantee test for "is this replica
+// fresh enough".
+func (r *Replica) Dominates(other map[guid.GUID]uint64) bool {
+	for c, s := range other {
+		if r.vv[c] < s {
+			return false
+		}
+	}
+	return true
+}
+
+// AntiEntropy performs one bidirectional epidemic exchange between two
+// replicas of the same object: each ships the tentative updates the
+// other lacks, and the shorter committed log is fast-forwarded from the
+// longer one.  It returns how many updates moved in total.
+func AntiEntropy(a, b *Replica, now time.Duration) int {
+	moved := 0
+	// Committed prefix sync: committed logs are prefixes of one final
+	// order, so the longer one extends the shorter.
+	if len(a.committed) < len(b.committed) {
+		a, b = b, a
+	}
+	for _, u := range a.committed[len(b.committed):] {
+		b.Commit(u, now)
+		moved++
+	}
+	// Tentative exchange, both directions.
+	for _, u := range a.Tentative() {
+		if !b.Seen(u.ID()) {
+			b.AddTentative(u)
+			moved++
+		}
+	}
+	for _, u := range b.Tentative() {
+		if !a.Seen(u.ID()) {
+			a.AddTentative(u)
+			moved++
+		}
+	}
+	return moved
+}

@@ -1,0 +1,42 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NewCauchyReedSolomon builds an (n, f) systematic MDS code whose
+// parity rows come from a Cauchy matrix, the construction the
+// Intermemory project used for wide-scale archival durability (paper
+// §6, [18]).  Cauchy matrices have the property that *every* square
+// submatrix is invertible, so — unlike the raw Vandermonde form — no
+// systematisation step is needed for the parity block, and any n of
+// the f fragments reconstruct.
+//
+// Construction: rows are indexed by x_i = i (parities) and columns by
+// y_j = f + j (data), all distinct in GF(2^8), giving
+// C[i][j] = 1 / (x_i ^ y_j).  The encoding matrix is [I ; C].
+func NewCauchyReedSolomon(n, f int) (*ReedSolomon, error) {
+	if n < 1 || f <= n {
+		return nil, fmt.Errorf("erasure: invalid geometry n=%d f=%d", n, f)
+	}
+	if f+n > 256 {
+		return nil, fmt.Errorf("erasure: n+f=%d exceeds GF(2^8) distinct points", f+n)
+	}
+	parity := f - n
+	enc := newMatrix(f, n)
+	for r := 0; r < n; r++ {
+		enc.set(r, r, 1) // systematic identity
+	}
+	for i := 0; i < parity; i++ {
+		for j := 0; j < n; j++ {
+			x, y := byte(i), byte(f+j)
+			d := x ^ y
+			if d == 0 {
+				return nil, errors.New("erasure: cauchy points collide")
+			}
+			enc.set(n+i, j, gfInv(d))
+		}
+	}
+	return &ReedSolomon{n: n, f: f, enc: enc}, nil
+}

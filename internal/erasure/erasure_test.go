@@ -1,0 +1,329 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		ab := byte(a)
+		if gfMul(ab, gfInv(ab)) != 1 {
+			t.Fatalf("inverse broken for %d", a)
+		}
+		if gfMul(ab, 1) != ab {
+			t.Fatalf("identity broken for %d", a)
+		}
+		if gfMul(ab, 0) != 0 {
+			t.Fatalf("zero broken for %d", a)
+		}
+	}
+	// Spot-check associativity and distributivity on random triples.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("assoc fails: %d %d %d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distrib fails: %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	if gfPow(0, 0) != 1 || gfPow(0, 5) != 0 || gfPow(7, 0) != 1 {
+		t.Fatal("pow edge cases")
+	}
+	got := byte(1)
+	for k := 1; k < 10; k++ {
+		got = gfMul(got, 3)
+		if gfPow(3, k) != got {
+			t.Fatalf("pow(3,%d) = %d want %d", k, gfPow(3, k), got)
+		}
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(8)
+		m := newMatrix(n, n)
+		for i := range m.d {
+			m.d[i] = byte(r.Intn(256))
+		}
+		inv, ok := m.invert()
+		if !ok {
+			continue // singular random matrix, fine
+		}
+		prod := m.mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if prod.at(i, j) != want {
+					t.Fatalf("m*inv not identity at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	// Singular matrix must be rejected.
+	s := newMatrix(2, 2)
+	s.set(0, 0, 1)
+	s.set(0, 1, 2)
+	s.set(1, 0, 1)
+	s.set(1, 1, 2)
+	if _, ok := s.invert(); ok {
+		t.Fatal("singular matrix inverted")
+	}
+	if _, ok := newMatrix(2, 3).invert(); ok {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+func TestRSGeometryValidation(t *testing.T) {
+	if _, err := NewReedSolomon(0, 4); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewReedSolomon(4, 4); err == nil {
+		t.Fatal("f<=n accepted")
+	}
+	if _, err := NewReedSolomon(200, 300); err == nil {
+		t.Fatal("f>256 accepted")
+	}
+}
+
+func TestRSSystematic(t *testing.T) {
+	rs, err := NewReedSolomon(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	frags, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 8 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	// Systematic property: first n fragments are the raw shards.
+	l := (len(data) + 3) / 4
+	for i := 0; i < 4; i++ {
+		lo := i * l
+		hi := min(lo+l, len(data))
+		if !bytes.Equal(frags[i].Data[:hi-lo], data[lo:hi]) {
+			t.Fatalf("fragment %d not systematic", i)
+		}
+	}
+}
+
+func TestRSAnySubsetReconstructs(t *testing.T) {
+	// Paper §4.5: "any n of the coded fragments are sufficient to
+	// construct the original data."  Exhaustively verify for a small
+	// code: every 3-subset of 6 fragments.
+	rs, err := NewReedSolomon(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("deep archival storage survives global disaster!")
+	frags, _ := rs.Encode(data)
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for c := b + 1; c < 6; c++ {
+				got, err := rs.Decode([]Fragment{frags[a], frags[b], frags[c]}, len(data))
+				if err != nil {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, c, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("subset {%d,%d,%d} reconstructed wrong data", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRSRejectsTooFew(t *testing.T) {
+	rs, _ := NewReedSolomon(4, 8)
+	data := make([]byte, 100)
+	frags, _ := rs.Encode(data)
+	if _, err := rs.Decode(frags[:3], len(data)); err != ErrNotEnoughFragments {
+		t.Fatalf("want ErrNotEnoughFragments, got %v", err)
+	}
+	// Duplicates do not count twice.
+	if _, err := rs.Decode([]Fragment{frags[0], frags[0], frags[0], frags[0]}, len(data)); err != ErrNotEnoughFragments {
+		t.Fatalf("duplicates counted: %v", err)
+	}
+	// Malformed fragments (wrong length, bad index) are ignored.
+	bad := Fragment{Index: 99, Data: frags[0].Data}
+	short := Fragment{Index: 1, Data: frags[1].Data[:1]}
+	if _, err := rs.Decode([]Fragment{frags[0], bad, short, frags[2]}, len(data)); err != ErrNotEnoughFragments {
+		t.Fatalf("malformed fragments accepted: %v", err)
+	}
+}
+
+func TestRSEmptyData(t *testing.T) {
+	rs, _ := NewReedSolomon(2, 4)
+	if _, err := rs.Encode(nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestQuickRSRoundTrip(t *testing.T) {
+	rs, _ := NewReedSolomon(8, 16)
+	r := rand.New(rand.NewSource(3))
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		frags, err := rs.Encode(raw)
+		if err != nil {
+			return false
+		}
+		// Random n-subset.
+		perm := r.Perm(16)
+		pick := make([]Fragment, 8)
+		for i := 0; i < 8; i++ {
+			pick[i] = frags[perm[i]]
+		}
+		got, err := rs.Decode(pick, len(raw))
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSPaperGeometry(t *testing.T) {
+	// The paper's example: rate-1/2 coding into 16 and 32 fragments.
+	for _, f := range []int{16, 32} {
+		rs, err := NewReedSolomon(f/2, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4096)
+		rand.New(rand.NewSource(4)).Read(data)
+		frags, _ := rs.Encode(data)
+		// Lose the maximum tolerable: f/2 fragments.
+		got, err := rs.Decode(frags[f/2:], len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("rate-1/2 f=%d failed after losing half: %v", f, err)
+		}
+	}
+}
+
+func TestTornadoRoundTripAllFragments(t *testing.T) {
+	tor, err := NewTornado(16, 32, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(5)).Read(data)
+	frags, err := tor.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tor.Decode(frags, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("full-set decode failed: %v", err)
+	}
+}
+
+func TestTornadoPeelingWithChecks(t *testing.T) {
+	tor, _ := NewTornado(8, 24, 7)
+	data := []byte("tornado codes are faster to encode and decode")
+	frags, _ := tor.Encode(data)
+	// Drop some data shards; decode from remaining data + all checks.
+	subset := append([]Fragment{}, frags[3:]...)
+	got, err := tor.Decode(subset, len(data))
+	if err != nil {
+		t.Fatalf("peeling failed: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("peeling reconstructed wrong data")
+	}
+}
+
+func TestTornadoNeedsSlightlyMoreThanN(t *testing.T) {
+	// Statistical property from §4.5 fn 12: with exactly n random
+	// fragments the peeling code sometimes fails, but with n + extras it
+	// nearly always succeeds.
+	tor, _ := NewTornado(16, 48, 11)
+	data := make([]byte, 2048)
+	r := rand.New(rand.NewSource(6))
+	r.Read(data)
+	frags, _ := tor.Encode(data)
+
+	succeed := func(k, trials int) int {
+		ok := 0
+		for i := 0; i < trials; i++ {
+			perm := r.Perm(len(frags))
+			sub := make([]Fragment, k)
+			for j := 0; j < k; j++ {
+				sub[j] = frags[perm[j]]
+			}
+			if got, err := tor.Decode(sub, len(data)); err == nil && bytes.Equal(got, data) {
+				ok++
+			}
+		}
+		return ok
+	}
+	atN := succeed(16, 60)
+	atNPlus := succeed(16+8, 60)
+	if atNPlus <= atN {
+		t.Fatalf("extras did not help: %d/60 at n vs %d/60 at n+8", atN, atNPlus)
+	}
+	if atNPlus < 54 {
+		t.Fatalf("with 50%% extra fragments success only %d/60", atNPlus)
+	}
+}
+
+func TestTornadoStallsReportError(t *testing.T) {
+	tor, _ := NewTornado(8, 16, 13)
+	data := make([]byte, 256)
+	frags, _ := tor.Encode(data)
+	// Only check fragments for an unknown graph subset may stall; only
+	// 2 fragments certainly stalls.
+	if _, err := tor.Decode(frags[:2], len(data)); err != ErrNotEnoughFragments {
+		t.Fatalf("want stall error, got %v", err)
+	}
+}
+
+func TestTornadoDeterministicGraph(t *testing.T) {
+	a, _ := NewTornado(8, 16, 42)
+	b, _ := NewTornado(8, 16, 42)
+	for j := range a.neighbours {
+		if len(a.neighbours[j]) != len(b.neighbours[j]) {
+			t.Fatal("graphs differ")
+		}
+		for i := range a.neighbours[j] {
+			if a.neighbours[j][i] != b.neighbours[j][i] {
+				t.Fatal("graphs differ")
+			}
+		}
+	}
+}
+
+func TestCodecInterfaceCompliance(t *testing.T) {
+	var codecs []Codec
+	rs, _ := NewReedSolomon(4, 8)
+	tor, _ := NewTornado(4, 12, 1)
+	codecs = append(codecs, rs, tor)
+	data := []byte("interface check payload interface check payload")
+	for _, c := range codecs {
+		if c.Required() != 4 {
+			t.Fatalf("required = %d", c.Required())
+		}
+		frags, err := c.Encode(data)
+		if err != nil || len(frags) != c.Total() {
+			t.Fatalf("encode: %v (%d frags)", err, len(frags))
+		}
+		got, err := c.Decode(frags, len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+}

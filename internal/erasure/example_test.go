@@ -1,0 +1,34 @@
+package erasure_test
+
+import (
+	"fmt"
+
+	"oceanstore/internal/erasure"
+)
+
+// Deep archival storage in miniature: rate-1/2 coding means the
+// archive survives losing any half of its fragments.
+func ExampleReedSolomon() {
+	rs, _ := erasure.NewReedSolomon(4, 8)
+	data := []byte("nothing short of a global disaster")
+	frags, _ := rs.Encode(data)
+
+	// A disaster destroys fragments 0-3; any 4 survivors suffice.
+	survivors := frags[4:]
+	recovered, _ := rs.Decode(survivors, len(data))
+	fmt.Println(string(recovered))
+	// Output: nothing short of a global disaster
+}
+
+// The Tornado-style code trades the any-n guarantee for XOR-only
+// speed: with a few extra fragments it reconstructs reliably.
+func ExampleTornado() {
+	tor, _ := erasure.NewTornado(4, 12, 7)
+	data := []byte("faster to encode and decode")
+	frags, _ := tor.Encode(data)
+
+	// Request extras as insurance against unlucky subsets.
+	recovered, err := tor.Decode(frags[3:], len(data))
+	fmt.Println(err == nil, string(recovered))
+	// Output: true faster to encode and decode
+}

@@ -1,0 +1,142 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fragment is one erasure-coded shard of an object.  Index identifies
+// the fragment's row in the code, which the decoder needs to know which
+// equations it holds.
+type Fragment struct {
+	Index int
+	Data  []byte
+}
+
+// Codec is the interface both archival codes implement.  Encode splits
+// data into Total fragments; Decode reconstructs it from any
+// sufficiently large subset (exactly Required for Reed-Solomon,
+// slightly more on unlucky subsets for Tornado).
+type Codec interface {
+	// Encode produces Total() fragments from data.
+	Encode(data []byte) ([]Fragment, error)
+	// Decode reconstructs the original data of length dataLen from the
+	// given fragments.
+	Decode(frags []Fragment, dataLen int) ([]byte, error)
+	// Total is the number of fragments produced.
+	Total() int
+	// Required is the minimum number of fragments that can reconstruct.
+	Required() int
+}
+
+// ErrNotEnoughFragments is returned when Decode is given too few (or,
+// for the peeling code, an insufficiently informative set of) fragments.
+var ErrNotEnoughFragments = errors.New("erasure: not enough fragments to reconstruct")
+
+// ReedSolomon is a systematic RS code: fragments 0..n-1 are the data
+// shards verbatim and fragments n..f-1 are parity.  Any n of the f
+// fragments reconstruct the original (the MDS property the paper's
+// reliability formula assumes).
+type ReedSolomon struct {
+	n, f int
+	enc  matrix // f×n systematic encoding matrix
+}
+
+// NewReedSolomon builds an (n, f) code: n data shards, f total
+// fragments.  Constraints follow GF(2^8): f ≤ 256.
+func NewReedSolomon(n, f int) (*ReedSolomon, error) {
+	if n < 1 || f <= n {
+		return nil, fmt.Errorf("erasure: invalid geometry n=%d f=%d", n, f)
+	}
+	if f > 256 {
+		return nil, fmt.Errorf("erasure: f=%d exceeds GF(2^8) limit of 256", f)
+	}
+	// Systematize a Vandermonde matrix: multiply by the inverse of its
+	// top n×n block so the first n rows become the identity.  The
+	// resulting matrix keeps the any-n-rows-invertible property.
+	v := vandermonde(f, n)
+	top := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(top.row(r), v.row(r))
+	}
+	inv, ok := top.invert()
+	if !ok {
+		return nil, errors.New("erasure: vandermonde top block singular")
+	}
+	return &ReedSolomon{n: n, f: f, enc: v.mul(inv)}, nil
+}
+
+// Total returns f.
+func (rs *ReedSolomon) Total() int { return rs.f }
+
+// Required returns n.
+func (rs *ReedSolomon) Required() int { return rs.n }
+
+// shardLen returns the per-shard length for a payload of dataLen bytes.
+func (rs *ReedSolomon) shardLen(dataLen int) int {
+	return (dataLen + rs.n - 1) / rs.n
+}
+
+// Encode splits data into n zero-padded shards and produces f coded
+// fragments.
+func (rs *ReedSolomon) Encode(data []byte) ([]Fragment, error) {
+	if len(data) == 0 {
+		return nil, errors.New("erasure: empty data")
+	}
+	l := rs.shardLen(len(data))
+	shards := make([][]byte, rs.n)
+	for i := range shards {
+		shards[i] = make([]byte, l)
+		lo := i * l
+		if lo < len(data) {
+			copy(shards[i], data[lo:min(lo+l, len(data))])
+		}
+	}
+	out := make([]Fragment, rs.f)
+	for r := 0; r < rs.f; r++ {
+		buf := make([]byte, l)
+		for c := 0; c < rs.n; c++ {
+			mulSlice(buf, shards[c], rs.enc.at(r, c))
+		}
+		out[r] = Fragment{Index: r, Data: buf}
+	}
+	return out, nil
+}
+
+// Decode reconstructs dataLen bytes from any n distinct fragments.
+func (rs *ReedSolomon) Decode(frags []Fragment, dataLen int) ([]byte, error) {
+	l := rs.shardLen(dataLen)
+	// Collect the first n distinct, well-formed fragments.
+	seen := make(map[int]bool)
+	var rows []Fragment
+	for _, fr := range frags {
+		if fr.Index < 0 || fr.Index >= rs.f || seen[fr.Index] || len(fr.Data) != l {
+			continue
+		}
+		seen[fr.Index] = true
+		rows = append(rows, fr)
+		if len(rows) == rs.n {
+			break
+		}
+	}
+	if len(rows) < rs.n {
+		return nil, ErrNotEnoughFragments
+	}
+	// Build the sub-matrix of encoding rows we actually hold and invert.
+	sub := newMatrix(rs.n, rs.n)
+	for i, fr := range rows {
+		copy(sub.row(i), rs.enc.row(fr.Index))
+	}
+	inv, ok := sub.invert()
+	if !ok {
+		return nil, errors.New("erasure: fragment sub-matrix singular")
+	}
+	data := make([]byte, rs.n*l)
+	for shard := 0; shard < rs.n; shard++ {
+		buf := data[shard*l : (shard+1)*l]
+		for i := 0; i < rs.n; i++ {
+			mulSlice(buf, rows[i].Data, inv.at(shard, i))
+		}
+	}
+	return data[:dataLen], nil
+}

@@ -1,0 +1,66 @@
+package introspect
+
+import "sort"
+
+// Replica management (§4.7.2): event handlers watch per-replica request
+// load; a replica whose load exceeds its resource allotment asks its
+// parent for help, and the parent creates additional floating replicas
+// on nearby nodes; replicas that fall into disuse are retired.  This
+// file holds the decision logic; package replica and core wire it to
+// actual replica creation.
+
+// ReplicaLoad is one floating replica's observed state.
+type ReplicaLoad struct {
+	ReplicaID int
+	// Rate is the smoothed request rate (requests per virtual second),
+	// typically an (ewma rate α) handler output.
+	Rate float64
+}
+
+// ManagerConfig tunes the spawn/retire thresholds.
+type ManagerConfig struct {
+	// SpawnAbove: a replica hotter than this requests assistance.
+	SpawnAbove float64
+	// RetireBelow: a replica colder than this is a retire candidate.
+	RetireBelow float64
+	// MinReplicas is never reduced below (availability floor).
+	MinReplicas int
+	// MaxReplicas caps growth (resource ceiling).
+	MaxReplicas int
+}
+
+// Action is a replica-management decision.
+type Action struct {
+	// Spawn asks for a new replica near the overloaded replica.
+	Spawn bool
+	// NearReplica is the overloaded replica to offload (when Spawn).
+	NearReplica int
+	// Retire names a replica to eliminate (when !Spawn).
+	Retire int
+}
+
+// Decide inspects current loads and returns the actions to take this
+// round.  At most one spawn per overloaded replica and at most one
+// retirement per round are issued, keeping the control loop gentle —
+// §4.7.2's "continuous confidence estimation ... to reduce harmful
+// changes and feedback cycles" in its simplest form.
+func Decide(loads []ReplicaLoad, cfg ManagerConfig) []Action {
+	var acts []Action
+	n := len(loads)
+	sorted := append([]ReplicaLoad(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rate > sorted[j].Rate })
+	for _, l := range sorted {
+		if l.Rate > cfg.SpawnAbove && n < cfg.MaxReplicas {
+			acts = append(acts, Action{Spawn: true, NearReplica: l.ReplicaID})
+			n++
+		}
+	}
+	// Retire the single coldest disused replica, if we can afford to.
+	if n > cfg.MinReplicas {
+		coldest := sorted[len(sorted)-1]
+		if coldest.Rate < cfg.RetireBelow {
+			acts = append(acts, Action{Retire: coldest.ReplicaID})
+		}
+	}
+	return acts
+}

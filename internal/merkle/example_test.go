@@ -1,0 +1,28 @@
+package merkle_test
+
+import (
+	"fmt"
+
+	"oceanstore/internal/merkle"
+)
+
+// Every archival fragment travels with its sibling hash path, so any
+// receiver can verify it against the archive's GUID — "retrieved
+// correctly and completely, or not at all" (§4.5).
+func ExampleVerify() {
+	fragments := [][]byte{
+		[]byte("fragment-0"), []byte("fragment-1"),
+		[]byte("fragment-2"), []byte("fragment-3"),
+	}
+	tree := merkle.Build(fragments)
+	root := tree.Root() // doubles as the archival object's GUID
+
+	proof := tree.Proof(2)
+	fmt.Println("genuine fragment:", merkle.Verify(fragments[2], 2, 4, proof, root))
+	fmt.Println("tampered fragment:", merkle.Verify([]byte("fragment-X"), 2, 4, proof, root))
+	fmt.Println("wrong position:", merkle.Verify(fragments[2], 1, 4, proof, root))
+	// Output:
+	// genuine fragment: true
+	// tampered fragment: false
+	// wrong position: false
+}

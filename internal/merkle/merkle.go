@@ -1,0 +1,129 @@
+// Package merkle implements the hierarchical fragment-verification
+// scheme of paper §4.5.
+//
+// To preserve the erasure property — a fragment is either retrieved
+// correctly and completely, or not at all — OceanStore hashes each
+// fragment, then recursively hashes concatenated pairs to form a binary
+// tree.  Each fragment travels with the sibling hashes along its path
+// to the root, so any receiver can recompute the path and check it
+// against the top-most hash.  The top-most hash doubles as the GUID of
+// the immutable archival object, making every fragment in the archive
+// completely self-verifying.
+package merkle
+
+import (
+	"crypto/sha1"
+
+	"oceanstore/internal/guid"
+)
+
+// hashLeaf and hashPair are domain-separated so an inner node can never
+// be confused with a leaf (a classic second-preimage hardening).
+func hashLeaf(data []byte) guid.GUID {
+	h := sha1.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var g guid.GUID
+	copy(g[:], h.Sum(nil))
+	return g
+}
+
+func hashPair(l, r guid.GUID) guid.GUID {
+	h := sha1.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var g guid.GUID
+	copy(g[:], h.Sum(nil))
+	return g
+}
+
+// Tree is a binary hash tree over an ordered fragment set.  Odd nodes
+// at any level are carried up unchanged.
+type Tree struct {
+	levels [][]guid.GUID // levels[0] = leaf hashes, last = [root]
+}
+
+// Build constructs the tree over the given fragments.  It panics on an
+// empty set: an archival object always has at least one fragment.
+func Build(fragments [][]byte) *Tree {
+	if len(fragments) == 0 {
+		panic("merkle: no fragments")
+	}
+	level := make([]guid.GUID, len(fragments))
+	for i, f := range fragments {
+		level[i] = hashLeaf(f)
+	}
+	t := &Tree{levels: [][]guid.GUID{level}}
+	for len(level) > 1 {
+		next := make([]guid.GUID, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashPair(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the top-most hash — the GUID of the archival object.
+func (t *Tree) Root() guid.GUID {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Leaves returns the number of fragments the tree covers.
+func (t *Tree) Leaves() int { return len(t.levels[0]) }
+
+// Proof returns the sibling hashes neighbouring fragment i's path to
+// the root, bottom-up.  Levels where i has no sibling (odd carry)
+// contribute nothing; Verify reconstructs the same shape from the
+// fragment count.
+func (t *Tree) Proof(i int) []guid.GUID {
+	if i < 0 || i >= t.Leaves() {
+		panic("merkle: proof index out of range")
+	}
+	var proof []guid.GUID
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib < len(level) {
+			proof = append(proof, level[sib])
+		}
+		idx /= 2
+	}
+	return proof
+}
+
+// Verify checks that data is fragment index of a total-fragment archive
+// whose tree root is root, using the sibling path proof.  It returns
+// false for any corruption of the data, the proof, the index, or the
+// root — the retrieved-correctly-or-not-at-all property.
+func Verify(data []byte, index, total int, proof []guid.GUID, root guid.GUID) bool {
+	if index < 0 || index >= total || total < 1 {
+		return false
+	}
+	h := hashLeaf(data)
+	idx, width, p := index, total, 0
+	for width > 1 {
+		sib := idx ^ 1
+		if sib < width {
+			if p >= len(proof) {
+				return false
+			}
+			if idx%2 == 0 {
+				h = hashPair(h, proof[p])
+			} else {
+				h = hashPair(proof[p], h)
+			}
+			p++
+		}
+		idx /= 2
+		width = (width + 1) / 2
+	}
+	return p == len(proof) && h == root
+}

@@ -1,0 +1,263 @@
+// Package naming implements OceanStore's decentralized naming facility
+// (paper §4.1).
+//
+// At the lowest level objects are named by self-certifying GUIDs — the
+// secure hash of the owner's key and a human-readable name — so no
+// adversary can hijack a name without the owner's key.  On top of
+// GUIDs, certain objects act as *directories* mapping human-readable
+// names to GUIDs; directories may point at other directories, forming
+// arbitrary hierarchies.  Clients choose their own root directories —
+// the system as a whole has no single root.  Secure key lookup is
+// handled with locally linked namespaces in the SDSI style [1, 42].
+// Finally, a version-qualified syntax turns any name into a permanent
+// hyperlink (§4.5).
+package naming
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oceanstore/internal/guid"
+)
+
+// Directory is the decrypted content of a directory object: an ordered
+// name → GUID map.  Entries whose Dir flag is set name sub-directories.
+type Directory struct {
+	Entries map[string]Entry
+}
+
+// Entry is one directory binding.
+type Entry struct {
+	GUID guid.GUID
+	Dir  bool
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory { return &Directory{Entries: make(map[string]Entry)} }
+
+// Bind adds or replaces a binding.  Names may not contain '/' or '@',
+// which the path syntax reserves.
+func (d *Directory) Bind(name string, g guid.GUID, isDir bool) error {
+	if name == "" || strings.ContainsAny(name, "/@") {
+		return fmt.Errorf("naming: invalid name %q", name)
+	}
+	d.Entries[name] = Entry{GUID: g, Dir: isDir}
+	return nil
+}
+
+// Unbind removes a binding.
+func (d *Directory) Unbind(name string) { delete(d.Entries, name) }
+
+// Lookup finds a binding.
+func (d *Directory) Lookup(name string) (Entry, bool) {
+	e, ok := d.Entries[name]
+	return e, ok
+}
+
+// Encode serialises the directory deterministically (sorted by name),
+// so directory objects are content-stable and diffable.
+func (d *Directory) Encode() []byte {
+	names := make([]string, 0, len(d.Entries))
+	for n := range d.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		e := d.Entries[n]
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(n)))
+		buf = append(buf, n...)
+		buf = append(buf, e.GUID[:]...)
+		if e.Dir {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeDirectory parses an encoded directory.
+func DecodeDirectory(b []byte) (*Directory, error) {
+	if len(b) < 4 {
+		return nil, errors.New("naming: short directory encoding")
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	d := NewDirectory()
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 2 {
+			return nil, errors.New("naming: truncated entry header")
+		}
+		nl := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < nl+guid.Size+1 {
+			return nil, errors.New("naming: truncated entry")
+		}
+		name := string(b[:nl])
+		b = b[nl:]
+		var g guid.GUID
+		copy(g[:], b[:guid.Size])
+		b = b[guid.Size:]
+		d.Entries[name] = Entry{GUID: g, Dir: b[0] == 1}
+		b = b[1:]
+	}
+	return d, nil
+}
+
+// Ref is a resolved name: an object GUID plus an optional version
+// qualifier making the reference a permanent hyperlink.
+type Ref struct {
+	Object guid.GUID
+	// HasVersion selects a specific archived version.
+	HasVersion  bool
+	VersionNum  uint64
+	VersionGUID guid.GUID // set instead of VersionNum when qualified by hash
+	ByGUID      bool
+}
+
+// ParseVersionSuffix splits "path@v12" or "path@<40-hex>" into the bare
+// path and its version qualifier.
+func ParseVersionSuffix(path string) (bare string, ref Ref, err error) {
+	at := strings.LastIndexByte(path, '@')
+	if at < 0 {
+		return path, Ref{}, nil
+	}
+	bare, suffix := path[:at], path[at+1:]
+	if strings.HasPrefix(suffix, "v") {
+		num, err := strconv.ParseUint(suffix[1:], 10, 64)
+		if err != nil {
+			return "", Ref{}, fmt.Errorf("naming: bad version number %q", suffix)
+		}
+		return bare, Ref{HasVersion: true, VersionNum: num}, nil
+	}
+	g, err := guid.Parse(suffix)
+	if err != nil {
+		return "", Ref{}, fmt.Errorf("naming: bad version qualifier %q", suffix)
+	}
+	return bare, Ref{HasVersion: true, ByGUID: true, VersionGUID: g}, nil
+}
+
+// Fetcher retrieves and decrypts the directory object behind a GUID.
+// It is how the resolver reads the wide-area infrastructure; package
+// core wires it to actual object reads.
+type Fetcher func(guid.GUID) (*Directory, error)
+
+// Resolver resolves hierarchical paths against client-chosen roots.
+type Resolver struct {
+	roots map[string]guid.GUID
+	fetch Fetcher
+}
+
+// NewResolver creates a resolver reading directories through fetch.
+func NewResolver(fetch Fetcher) *Resolver {
+	return &Resolver{roots: make(map[string]guid.GUID), fetch: fetch}
+}
+
+// AddRoot registers a named root directory.  Roots are only roots with
+// respect to the clients that use them; the system has no global root.
+// Securing root GUIDs (e.g. via a public key authority) is external.
+func (r *Resolver) AddRoot(name string, dir guid.GUID) { r.roots[name] = dir }
+
+// Errors from Resolve.
+var (
+	ErrNoSuchRoot = errors.New("naming: unknown root")
+	ErrNotFound   = errors.New("naming: name not bound")
+	ErrNotADir    = errors.New("naming: path component is not a directory")
+)
+
+// Resolve maps "root:/a/b/c[@vN|@hex]" to a Ref.  Every intermediate
+// component must be a directory binding.
+func (r *Resolver) Resolve(path string) (Ref, error) {
+	bare, ref, err := ParseVersionSuffix(path)
+	if err != nil {
+		return Ref{}, err
+	}
+	rootName, rest, ok := strings.Cut(bare, ":")
+	if !ok {
+		return Ref{}, fmt.Errorf("naming: path %q lacks a root prefix", path)
+	}
+	cur, ok := r.roots[rootName]
+	if !ok {
+		return Ref{}, fmt.Errorf("%w: %q", ErrNoSuchRoot, rootName)
+	}
+	components := strings.FieldsFunc(rest, func(c rune) bool { return c == '/' })
+	if len(components) == 0 {
+		ref.Object = cur
+		return ref, nil
+	}
+	for i, comp := range components {
+		dir, err := r.fetch(cur)
+		if err != nil {
+			return Ref{}, fmt.Errorf("naming: fetching directory %s: %w", cur.Short(), err)
+		}
+		e, ok := dir.Lookup(comp)
+		if !ok {
+			return Ref{}, fmt.Errorf("%w: %q in %s", ErrNotFound, comp, cur.Short())
+		}
+		if i < len(components)-1 {
+			if !e.Dir {
+				return Ref{}, fmt.Errorf("%w: %q", ErrNotADir, comp)
+			}
+		}
+		cur = e.GUID
+	}
+	ref.Object = cur
+	return ref, nil
+}
+
+// Namespace is an SDSI-style locally linked namespace [1, 42]: local
+// names bind to principals (key GUIDs), and links bind local names to
+// *other namespaces*, so "alice bob" resolves to whatever the principal
+// I call alice calls bob.  This reduces secure GUID mapping to secure
+// key lookup, as §4.1 describes.
+type Namespace struct {
+	principals map[string]guid.GUID
+	links      map[string]*Namespace
+}
+
+// NewNamespace creates an empty namespace.
+func NewNamespace() *Namespace {
+	return &Namespace{
+		principals: make(map[string]guid.GUID),
+		links:      make(map[string]*Namespace),
+	}
+}
+
+// BindPrincipal binds a local name to a principal's key GUID.
+func (ns *Namespace) BindPrincipal(name string, key guid.GUID) {
+	ns.principals[name] = key
+}
+
+// Link binds a local name to another principal's namespace.
+func (ns *Namespace) Link(name string, other *Namespace) {
+	ns.links[name] = other
+}
+
+// ResolveChain resolves a linked-name chain: all but the last element
+// traverse links; the last element must be a principal binding in the
+// final namespace.
+func (ns *Namespace) ResolveChain(chain ...string) (guid.GUID, error) {
+	if len(chain) == 0 {
+		return guid.Zero, errors.New("naming: empty chain")
+	}
+	cur := ns
+	for _, hop := range chain[:len(chain)-1] {
+		next, ok := cur.links[hop]
+		if !ok {
+			return guid.Zero, fmt.Errorf("naming: no linked namespace %q", hop)
+		}
+		cur = next
+	}
+	last := chain[len(chain)-1]
+	g, ok := cur.principals[last]
+	if !ok {
+		return guid.Zero, fmt.Errorf("naming: no principal %q", last)
+	}
+	return g, nil
+}

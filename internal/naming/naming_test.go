@@ -1,0 +1,261 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"oceanstore/internal/guid"
+)
+
+func TestDirectoryBindLookup(t *testing.T) {
+	d := NewDirectory()
+	g := guid.FromData([]byte("file"))
+	if err := d.Bind("report.txt", g, false); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d.Lookup("report.txt")
+	if !ok || e.GUID != g || e.Dir {
+		t.Fatalf("lookup: %+v %v", e, ok)
+	}
+	d.Unbind("report.txt")
+	if _, ok := d.Lookup("report.txt"); ok {
+		t.Fatal("unbind failed")
+	}
+}
+
+func TestDirectoryRejectsReservedChars(t *testing.T) {
+	d := NewDirectory()
+	for _, bad := range []string{"", "a/b", "a@v1"} {
+		if err := d.Bind(bad, guid.Zero, false); err == nil {
+			t.Fatalf("name %q accepted", bad)
+		}
+	}
+}
+
+func TestDirectoryEncodeDecodeRoundTrip(t *testing.T) {
+	d := NewDirectory()
+	d.Bind("zeta", guid.FromData([]byte("z")), false)
+	d.Bind("alpha", guid.FromData([]byte("a")), true)
+	d.Bind("mid", guid.FromData([]byte("m")), false)
+	enc := d.Encode()
+	got, err := DecodeDirectory(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for n, e := range d.Entries {
+		ge, ok := got.Lookup(n)
+		if !ok || ge != e {
+			t.Fatalf("entry %q mismatched", n)
+		}
+	}
+	// Deterministic: same content, same bytes.
+	d2 := NewDirectory()
+	d2.Bind("mid", guid.FromData([]byte("m")), false)
+	d2.Bind("alpha", guid.FromData([]byte("a")), true)
+	d2.Bind("zeta", guid.FromData([]byte("z")), false)
+	if string(d2.Encode()) != string(enc) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDecodeDirectoryRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {0, 0, 0, 5}, {0, 0, 0, 1, 0, 9, 'x'}} {
+		if _, err := DecodeDirectory(b); err == nil {
+			t.Fatalf("garbage %v decoded", b)
+		}
+	}
+}
+
+func TestQuickDirectoryRoundTrip(t *testing.T) {
+	f := func(names []string, seeds []byte) bool {
+		d := NewDirectory()
+		want := map[string]Entry{}
+		for i, n := range names {
+			if n == "" || len(n) > 100 {
+				continue
+			}
+			var seed byte
+			if i < len(seeds) {
+				seed = seeds[i]
+			}
+			g := guid.FromData([]byte{seed})
+			if d.Bind(n, g, seed%2 == 0) != nil {
+				continue
+			}
+			want[n] = Entry{GUID: g, Dir: seed%2 == 0}
+		}
+		got, err := DecodeDirectory(d.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got.Entries) != len(want) {
+			return false
+		}
+		for n, e := range want {
+			if ge, ok := got.Lookup(n); !ok || ge != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseVersionSuffix(t *testing.T) {
+	bare, ref, err := ParseVersionSuffix("home:/docs/x@v12")
+	if err != nil || bare != "home:/docs/x" || !ref.HasVersion || ref.VersionNum != 12 || ref.ByGUID {
+		t.Fatalf("v12: %q %+v %v", bare, ref, err)
+	}
+	g := guid.FromData([]byte("version"))
+	bare, ref, err = ParseVersionSuffix("home:/docs/x@" + g.String())
+	if err != nil || bare != "home:/docs/x" || !ref.ByGUID || ref.VersionGUID != g {
+		t.Fatalf("hex: %q %+v %v", bare, ref, err)
+	}
+	bare, ref, err = ParseVersionSuffix("home:/docs/x")
+	if err != nil || bare != "home:/docs/x" || ref.HasVersion {
+		t.Fatalf("plain: %q %+v %v", bare, ref, err)
+	}
+	if _, _, err = ParseVersionSuffix("x@vNaN"); err == nil {
+		t.Fatal("bad version number accepted")
+	}
+	if _, _, err = ParseVersionSuffix("x@zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+// memoryFetcher serves directories from a map, counting fetches.
+type memoryFetcher struct {
+	dirs    map[guid.GUID]*Directory
+	fetches int
+}
+
+func (m *memoryFetcher) fetch(g guid.GUID) (*Directory, error) {
+	m.fetches++
+	d, ok := m.dirs[g]
+	if !ok {
+		return nil, errors.New("no such directory object")
+	}
+	return d, nil
+}
+
+func TestResolvePath(t *testing.T) {
+	docs := NewDirectory()
+	fileG := guid.FromData([]byte("report"))
+	docs.Bind("report.txt", fileG, false)
+	root := NewDirectory()
+	docsG := guid.FromData([]byte("docs"))
+	root.Bind("docs", docsG, true)
+	rootG := guid.FromData([]byte("root"))
+
+	mf := &memoryFetcher{dirs: map[guid.GUID]*Directory{rootG: root, docsG: docs}}
+	r := NewResolver(mf.fetch)
+	r.AddRoot("home", rootG)
+
+	ref, err := r.Resolve("home:/docs/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Object != fileG {
+		t.Fatalf("resolved %v, want %v", ref.Object, fileG)
+	}
+	// Version-qualified resolution carries the qualifier through.
+	ref, err = r.Resolve("home:/docs/report.txt@v3")
+	if err != nil || !ref.HasVersion || ref.VersionNum != 3 {
+		t.Fatalf("versioned resolve: %+v %v", ref, err)
+	}
+	// Root alone resolves to the root directory object.
+	ref, err = r.Resolve("home:")
+	if err != nil || ref.Object != rootG {
+		t.Fatalf("bare root: %+v %v", ref, err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	rootG := guid.FromData([]byte("root"))
+	root := NewDirectory()
+	root.Bind("file", guid.FromData([]byte("f")), false)
+	mf := &memoryFetcher{dirs: map[guid.GUID]*Directory{rootG: root}}
+	r := NewResolver(mf.fetch)
+	r.AddRoot("home", rootG)
+
+	if _, err := r.Resolve("nowhere:/x"); !errors.Is(err, ErrNoSuchRoot) {
+		t.Fatalf("unknown root: %v", err)
+	}
+	if _, err := r.Resolve("home:/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing name: %v", err)
+	}
+	// Traversing through a non-directory.
+	if _, err := r.Resolve("home:/file/below"); !errors.Is(err, ErrNotADir) {
+		t.Fatalf("through file: %v", err)
+	}
+	if _, err := r.Resolve("no-root-prefix"); err == nil {
+		t.Fatal("path without root accepted")
+	}
+	// Dangling directory GUID surfaces the fetch error.
+	root.Bind("ghost", guid.FromData([]byte("ghost")), true)
+	if _, err := r.Resolve("home:/ghost/x"); err == nil {
+		t.Fatal("dangling directory resolved")
+	}
+}
+
+func TestNoGlobalRoot(t *testing.T) {
+	// Two clients with different roots resolve the same path name to
+	// different objects — roots are client-relative (§4.1).
+	aRoot, bRoot := NewDirectory(), NewDirectory()
+	aG := guid.FromData([]byte("a-obj"))
+	bG := guid.FromData([]byte("b-obj"))
+	aRoot.Bind("x", aG, false)
+	bRoot.Bind("x", bG, false)
+	aRootG, bRootG := guid.FromData([]byte("a-root")), guid.FromData([]byte("b-root"))
+	mf := &memoryFetcher{dirs: map[guid.GUID]*Directory{aRootG: aRoot, bRootG: bRoot}}
+
+	ra := NewResolver(mf.fetch)
+	ra.AddRoot("home", aRootG)
+	rb := NewResolver(mf.fetch)
+	rb.AddRoot("home", bRootG)
+
+	refA, _ := ra.Resolve("home:/x")
+	refB, _ := rb.Resolve("home:/x")
+	if refA.Object == refB.Object {
+		t.Fatal("different roots resolved identically")
+	}
+}
+
+func TestSDSILinkedNamespaces(t *testing.T) {
+	me := NewNamespace()
+	alice := NewNamespace()
+	bob := NewNamespace()
+	bobKey := guid.FromData([]byte("bob-key"))
+	carolKey := guid.FromData([]byte("carol-key"))
+
+	me.Link("alice", alice)
+	alice.Link("bob", bob)
+	alice.BindPrincipal("bob", bobKey)
+	bob.BindPrincipal("carol", carolKey)
+
+	// "alice's bob" — principal lookup in alice's namespace.
+	g, err := me.ResolveChain("alice", "bob")
+	if err != nil || g != bobKey {
+		t.Fatalf("alice bob: %v %v", g, err)
+	}
+	// "alice's bob's carol" — two link hops then a principal.
+	g, err = me.ResolveChain("alice", "bob", "carol")
+	if err != nil || g != carolKey {
+		t.Fatalf("alice bob carol: %v %v", g, err)
+	}
+	if _, err := me.ResolveChain("nobody", "x"); err == nil {
+		t.Fatal("unknown link resolved")
+	}
+	if _, err := me.ResolveChain("alice", "dave"); err == nil {
+		t.Fatal("unknown principal resolved")
+	}
+	if _, err := me.ResolveChain(); err == nil {
+		t.Fatal("empty chain resolved")
+	}
+}

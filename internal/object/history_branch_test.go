@@ -1,0 +1,49 @@
+package object
+
+import "testing"
+
+func TestHistoryBranches(t *testing.T) {
+	k := key(30)
+	v0 := NewObject([]byte("base"), 8, k)
+	h := NewHistory(v0)
+
+	// Two conflicting successors of v0: one wins the main chain, the
+	// other becomes a branch (Lotus Notes style).
+	edA, _ := NewEditor(v0, k)
+	winner := v0.Clone(1)
+	if err := winner.ApplyOp(edA.Append([]byte("-A"))); err != nil {
+		t.Fatal(err)
+	}
+	h.Add(winner)
+
+	edB, _ := NewEditor(v0, k)
+	loser := v0.Clone(2)
+	if err := loser.ApplyOp(edB.Append([]byte("-B"))); err != nil {
+		t.Fatal(err)
+	}
+	if !h.AddBranch(v0.GUID(), loser) {
+		t.Fatal("branch rejected")
+	}
+
+	bs := h.Branches(v0.GUID())
+	if len(bs) != 1 || bs[0] != loser {
+		t.Fatalf("branches = %v", bs)
+	}
+	// Branch versions resolve by GUID like chain versions.
+	got, ok := h.ByGUID(loser.GUID())
+	if !ok || got != loser {
+		t.Fatal("branch not resolvable by GUID")
+	}
+	// The main chain is unaffected.
+	if h.Latest() != winner {
+		t.Fatal("latest changed by branching")
+	}
+	// Branching off an unknown parent fails.
+	if h.AddBranch(loser.GUID().Salted(1), loser) {
+		t.Fatal("branch on unknown parent accepted")
+	}
+	// No branches recorded elsewhere.
+	if h.Branches(winner.GUID()) != nil {
+		t.Fatal("phantom branches")
+	}
+}

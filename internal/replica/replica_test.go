@@ -1,0 +1,394 @@
+package replica
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/byz"
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/object"
+	"oceanstore/internal/sim"
+	"oceanstore/internal/simnet"
+	"oceanstore/internal/update"
+)
+
+// world sets up a 40-node network: nodes 0..3 are the primary tier,
+// node 39 is the client, the rest can become secondaries.
+type world struct {
+	k      *sim.Kernel
+	net    *simnet.Network
+	ring   *Ring
+	key    crypt.BlockKey
+	obj    guid.GUID
+	client simnet.NodeID
+	seq    uint64
+}
+
+func newWorld(t *testing.T, seed int64, cfg Config) *world {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net := simnet.New(k, simnet.Config{BaseLatency: 20 * time.Millisecond, LatencyPerUnit: time.Millisecond})
+	nodes := net.AddRandomNodes(40, 30, 4)
+	arch := archive.NewService(net, nodes[4:36])
+	key := crypt.NewBlockKey(rand.New(rand.NewSource(seed)))
+	v0 := object.NewObject([]byte("base."), 64, key)
+	obj := guid.FromData([]byte("test-object"))
+	primaries := []simnet.NodeID{0, 1, 2, 3}
+	ring, err := NewRing(net, primaries, v0, obj, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{k: k, net: net, ring: ring, key: key, obj: obj, client: 39}
+}
+
+// appendUpdate builds an unconditional append against the current
+// committed version.
+func (w *world) appendUpdate(t *testing.T, payload string) *update.Update {
+	t.Helper()
+	base := w.ring.CommittedVersion()
+	ed, err := object.NewEditor(base, w.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := update.NewUnconditional(w.obj, update.BlockOps(ed.Append([]byte(payload))))
+	w.seq++
+	u.ClientID = guid.FromData([]byte("client"))
+	u.Seq = w.seq
+	u.Timestamp = w.k.Now()
+	return u
+}
+
+func (w *world) read(t *testing.T, v *object.Version) string {
+	t.Helper()
+	b, err := object.NewView(v, w.key).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestFigure5UpdatePath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 1, cfg)
+	// 10 secondaries join the dissemination tree.
+	for i := 4; i < 14; i++ {
+		if _, err := w.ring.AddSecondary(simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var res *byz.Result
+	u := w.appendUpdate(t, "hello")
+	w.ring.Submit(w.client, u, 3, func(r byz.Result) { res = &r })
+	w.k.RunFor(30 * time.Second)
+
+	if res == nil || !res.Committed {
+		t.Fatal("update did not commit through the primary tier")
+	}
+	// Authoritative state advanced.
+	if got := w.read(t, w.ring.CommittedVersion()); got != "base.hello" {
+		t.Fatalf("primary state %q", got)
+	}
+	// Every secondary received the committed update via the tree.
+	for _, sec := range w.ring.Secondaries() {
+		if sec.Rep.CommittedLen() != 1 {
+			t.Fatalf("secondary %d committed %d", sec.Node, sec.Rep.CommittedLen())
+		}
+		if got := w.read(t, sec.Rep.CommittedState()); got != "base.hello" {
+			t.Fatalf("secondary %d state %q", sec.Node, got)
+		}
+	}
+	// Archival fragments were generated as a side effect of commitment.
+	if len(w.ring.ArchiveRoots) != 1 {
+		t.Fatalf("archive roots = %d, want 1", len(w.ring.ArchiveRoots))
+	}
+}
+
+func TestTentativeSpreadBeforeCommit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	cfg.GossipInterval = 2 * time.Second
+	w := newWorld(t, 2, cfg)
+	for i := 4; i < 12; i++ {
+		if _, err := w.ring.AddSecondary(simnet.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := w.appendUpdate(t, "x")
+	w.ring.Submit(w.client, u, 4, nil)
+	// Run only briefly: tentative copies land, commit likely incomplete.
+	w.k.RunFor(100 * time.Millisecond)
+	tentative := 0
+	for _, sec := range w.ring.Secondaries() {
+		if sec.Rep.TentativeLen() > 0 {
+			tentative++
+		}
+	}
+	if tentative == 0 {
+		t.Fatal("no secondary holds the update tentatively")
+	}
+	// Gossip spreads it to most secondaries well before any commit path.
+	w.k.RunFor(20 * time.Second)
+	seen := 0
+	for _, sec := range w.ring.Secondaries() {
+		if sec.Rep.Seen(u.ID()) {
+			seen++
+		}
+	}
+	if seen < 6 {
+		t.Fatalf("after gossip only %d/8 secondaries saw the update", seen)
+	}
+}
+
+func TestArchiveSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 3, cfg)
+	u := w.appendUpdate(t, "durable")
+	w.ring.Submit(w.client, u, 0, nil)
+	w.k.RunFor(30 * time.Second)
+	if len(w.ring.ArchiveRoots) == 0 {
+		t.Fatal("no archive produced")
+	}
+	// Reconstruct the snapshot from fragments and parse it.
+	root := w.ring.ArchiveRoots[0]
+	var data []byte
+	w.ring.arch.Retrieve(38, root, 2, 10*time.Second, func(d []byte, err error, _ time.Duration) {
+		if err != nil {
+			t.Errorf("retrieve: %v", err)
+			return
+		}
+		data = d
+	})
+	w.k.RunFor(30 * time.Second)
+	if data == nil {
+		t.Fatal("retrieval incomplete")
+	}
+	v, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.read(t, v); got != "base.durable" {
+		t.Fatalf("archived state %q", got)
+	}
+	if v.Num != 1 {
+		t.Fatalf("archived version num %d", v.Num)
+	}
+}
+
+func TestLowBandwidthInvalidationAndRefresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	// Disable gossip so the dissemination tree is the only data channel;
+	// otherwise anti-entropy (correctly) delivers the data anyway.
+	cfg.GossipInterval = 0
+	w := newWorld(t, 4, cfg)
+	// One normal secondary, then a low-bandwidth one attached below.
+	if _, err := w.ring.AddSecondary(simnet.NodeID(4)); err != nil {
+		t.Fatal(err)
+	}
+	w.net.Node(5).LowBandwidth = true
+	sec, err := w.ring.AddSecondary(simnet.NodeID(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.appendUpdate(t, "bulk")
+	w.ring.Submit(w.client, u, 0, nil)
+	w.k.RunFor(30 * time.Second)
+	if !sec.Stale {
+		t.Fatal("low-bandwidth secondary not invalidated")
+	}
+	if sec.Rep.CommittedLen() != 0 {
+		t.Fatal("invalidated secondary received data anyway")
+	}
+	// Refresh pulls the committed log from the parent.
+	done := false
+	if err := w.ring.Refresh(5, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	w.k.RunFor(10 * time.Second)
+	if !done || sec.Stale {
+		t.Fatal("refresh did not complete")
+	}
+	if got := w.read(t, sec.Rep.CommittedState()); got != "base.bulk" {
+		t.Fatalf("refreshed state %q", got)
+	}
+}
+
+func TestWriterRestrictionGate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 5, cfg)
+	w.ring.CheckWrite = func(u *update.Update) error {
+		return errExpected // reject everything
+	}
+	u := w.appendUpdate(t, "evil")
+	w.ring.Submit(w.client, u, 0, nil)
+	w.k.RunFor(30 * time.Second)
+	if got := w.read(t, w.ring.CommittedVersion()); got != "base." {
+		t.Fatalf("unauthorized write applied: %q", got)
+	}
+	if w.ring.PrimaryState().Log.Len() != 0 {
+		t.Fatal("unauthorized write logged as applied")
+	}
+}
+
+var errExpected = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "unauthorized" }
+
+func TestSequentialUpdatesSerialize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ArchiveEvery = 100 // skip archiving in this test
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 6, cfg)
+	if _, err := w.ring.AddSecondary(simnet.NodeID(7)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		u := w.appendUpdate(t, string(rune('a'+i)))
+		w.ring.Submit(w.client, u, 0, nil)
+		w.k.RunFor(10 * time.Second) // commit before building the next
+	}
+	if got := w.read(t, w.ring.CommittedVersion()); got != "base.abc" {
+		t.Fatalf("final state %q", got)
+	}
+	sec, _ := w.ring.Secondary(7)
+	if got := w.read(t, sec.Rep.CommittedState()); got != "base.abc" {
+		t.Fatalf("secondary state %q", got)
+	}
+	// OnCommit callbacks fired in order.
+}
+
+func TestOnCommitCallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 7, cfg)
+	var got []update.Outcome
+	w.ring.OnCommit(func(u *update.Update, out update.Outcome) { got = append(got, out) })
+	u := w.appendUpdate(t, "cb")
+	w.ring.Submit(w.client, u, 0, nil)
+	w.k.RunFor(30 * time.Second)
+	if len(got) != 1 || !got[0].Committed {
+		t.Fatalf("callbacks = %+v", got)
+	}
+}
+
+func TestRemoveSecondary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 8, cfg)
+	if _, err := w.ring.AddSecondary(simnet.NodeID(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ring.RemoveSecondary(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.ring.Secondary(4); ok {
+		t.Fatal("secondary still present")
+	}
+	if err := w.ring.RemoveSecondary(4); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := w.ring.AddSecondary(simnet.NodeID(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ring.AddSecondary(simnet.NodeID(5)); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestSnapshotParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseSnapshot(nil); err == nil {
+		t.Fatal("nil snapshot parsed")
+	}
+	if _, err := ParseSnapshot(make([]byte, 10)); err == nil {
+		t.Fatal("short snapshot parsed")
+	}
+	// Huge top count.
+	bad := make([]byte, 24)
+	bad[23] = 0xff
+	bad[16] = 0xff
+	if _, err := ParseSnapshot(bad); err == nil {
+		t.Fatal("corrupt top count parsed")
+	}
+}
+
+func TestTwoRingsShareNodes(t *testing.T) {
+	// Two objects with primary tiers on the SAME physical nodes must not
+	// interfere (message tagging).
+	k := sim.NewKernel(9)
+	net := simnet.New(k, simnet.Config{BaseLatency: 20 * time.Millisecond})
+	nodes := net.AddRandomNodes(20, 30, 2)
+	arch := archive.NewService(net, nodes[8:18])
+	key := crypt.NewBlockKey(rand.New(rand.NewSource(9)))
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+
+	mk := func(name, base string) (*Ring, guid.GUID) {
+		obj := guid.FromData([]byte(name))
+		v0 := object.NewObject([]byte(base), 64, key)
+		r, err := NewRing(net, []simnet.NodeID{0, 1, 2, 3}, v0, obj, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, obj
+	}
+	ringA, objA := mk("objA", "A:")
+	ringB, objB := mk("objB", "B:")
+
+	mkUpdate := func(ring *Ring, obj guid.GUID, payload string, seq uint64) *update.Update {
+		ed, err := object.NewEditor(ring.CommittedVersion(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := update.NewUnconditional(obj, update.BlockOps(ed.Append([]byte(payload))))
+		u.ClientID = guid.FromData([]byte("c"))
+		u.Seq = seq
+		return u
+	}
+	ringA.Submit(19, mkUpdate(ringA, objA, "one", 1), 0, nil)
+	ringB.Submit(19, mkUpdate(ringB, objB, "two", 1), 0, nil)
+	k.RunFor(30 * time.Second)
+
+	readV := func(r *Ring) string {
+		b, err := object.NewView(r.CommittedVersion(), key).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got := readV(ringA); got != "A:one" {
+		t.Fatalf("ring A state %q", got)
+	}
+	if got := readV(ringB); got != "B:two" {
+		t.Fatalf("ring B state %q", got)
+	}
+}
+
+func TestRingCommitCertificate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
+	w := newWorld(t, 10, cfg)
+	u := w.appendUpdate(t, "provable")
+	var res *byz.Result
+	w.ring.Submit(w.client, u, 0, func(r byz.Result) { res = &r })
+	w.k.RunFor(30 * time.Second)
+	if res == nil || res.Certificate == nil {
+		t.Fatal("no certificate through the ring")
+	}
+	// Offline verification with only the tier's public keys.
+	if !res.Certificate.Verify(w.ring.Group().PublicKeys(), w.ring.Group().F()) {
+		t.Fatal("ring certificate failed offline verification")
+	}
+	forged := *res.Certificate
+	forged.Seq++
+	if forged.Verify(w.ring.Group().PublicKeys(), w.ring.Group().F()) {
+		t.Fatal("forged certificate verified")
+	}
+}

@@ -1,0 +1,129 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// OceanStore's evaluation concerns protocol properties — bytes on the
+// wire, message latencies, hop counts, fragment availability — none of
+// which depend on real hardware.  We therefore run every protocol on a
+// virtual clock: events execute in timestamp order, ties broken by
+// insertion sequence, and all randomness flows from a single seeded
+// source.  The same seed always reproduces the same run, byte for byte.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Kernel is the event loop.  It is not safe for concurrent use; the
+// simulation is single-threaded by design so that runs are exactly
+// reproducible.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewKernel creates a kernel whose randomness derives from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's seeded random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute virtual time t.  Scheduling in the
+// past runs the event at the current time (it cannot rewind the clock).
+func (k *Kernel) At(t time.Duration, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{time: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Every schedules fn to run now+d and then every d thereafter, until
+// the returned cancel function is called.  Used for soft-state beacons,
+// republish sweeps and repair processes.
+func (k *Kernel) Every(d time.Duration, fn func()) (cancel func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		k.After(d, tick)
+	}
+	k.After(d, tick)
+	return func() { stopped = true }
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (k *Kernel) Run() {
+	k.halted = false
+	for len(k.queue) > 0 && !k.halted {
+		k.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to t.  Events scheduled beyond t remain queued.
+func (k *Kernel) RunUntil(t time.Duration) {
+	k.halted = false
+	for len(k.queue) > 0 && !k.halted && k.queue[0].time <= t {
+		k.step()
+	}
+	if !k.halted && k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
+
+// Halt stops the current Run/RunUntil after the executing event
+// returns.  Pending events stay queued.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+func (k *Kernel) step() {
+	ev := heap.Pop(&k.queue).(*event)
+	k.now = ev.time
+	ev.fn()
+}
+
+type event struct {
+	time time.Duration
+	seq  uint64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

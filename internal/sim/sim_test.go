@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30*time.Millisecond, func() { order = append(order, 3) })
+	k.At(10*time.Millisecond, func() { order = append(order, 1) })
+	k.At(20*time.Millisecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v", k.Now())
+	}
+}
+
+func TestTiesBreakByInsertion(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestAfterNestsRelative(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Duration
+	k.After(10*time.Millisecond, func() {
+		k.After(5*time.Millisecond, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("nested After fired at %v", at)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(10*time.Millisecond, func() { fired++ })
+	k.At(30*time.Millisecond, func() { fired++ })
+	k.RunUntil(20 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEveryAndCancel(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var cancel func()
+	cancel = k.Every(10*time.Millisecond, func() {
+		count++
+		if count == 3 {
+			cancel()
+		}
+	})
+	k.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (cancel must stop the ticker)", count)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(1*time.Millisecond, func() { fired++; k.Halt() })
+	k.At(2*time.Millisecond, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	k.Run() // resumes
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after resume", fired)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Duration
+	k.At(10*time.Millisecond, func() {
+		k.At(0, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v", at)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := NewKernel(42)
+		var trace []int64
+		for i := 0; i < 50; i++ {
+			k.After(time.Duration(k.Rand().Intn(100))*time.Millisecond, func() {
+				trace = append(trace, int64(k.Now()), k.Rand().Int63())
+			})
+		}
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

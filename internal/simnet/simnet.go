@@ -1,0 +1,220 @@
+// Package simnet simulates the wide-area network that OceanStore's
+// protocols run over.
+//
+// The paper's evaluation quantities — bytes sent per update (Fig 6),
+// commit latency under 100 ms WAN hops (§4.4.5), location hop counts
+// (§4.3), fragment retrieval under drops (§5) — depend only on the
+// protocols and the link model, so we substitute the authors' testbed
+// with a simulated network: nodes placed on a 2-D plane, per-message
+// latency = base + c·distance, per-message byte accounting, and
+// injectable faults (node crashes, message drops, partitions).
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"oceanstore/internal/guid"
+	"oceanstore/internal/sim"
+)
+
+// NodeID indexes a node within a Network.
+type NodeID int
+
+// None is the nil node ID.
+const None NodeID = -1
+
+// Message is a unit of simulated communication.  Size is the estimated
+// wire size in bytes; Kind tags the protocol for per-class accounting.
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Payload  any
+	Size     int
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// Node is a simulated server or client machine.
+type Node struct {
+	ID   NodeID
+	Addr guid.GUID // server GUID (hash of its public key)
+	X, Y float64   // position on the latency plane
+	// Domain is the administrative domain the node belongs to; the
+	// archival layer avoids placing correlated fragments in one domain.
+	Domain int
+	// LowBandwidth marks leaf nodes where dissemination trees transform
+	// updates into invalidations (paper §4.4.3).
+	LowBandwidth bool
+	// Down marks a crashed node: it neither sends nor receives.
+	Down bool
+
+	handlers []Handler
+}
+
+// Handle adds a message handler to the node.  Several protocol layers
+// (agreement, dissemination, archival) coexist on one server, so every
+// handler sees every delivered message and filters by Kind or payload
+// type.
+func (n *Node) Handle(h Handler) { n.handlers = append(n.handlers, h) }
+
+// Config sets the link model of a Network.
+type Config struct {
+	// BaseLatency is added to every message (propagation floor).
+	BaseLatency time.Duration
+	// LatencyPerUnit converts plane distance into latency.  Zero gives a
+	// uniform-latency network, which the paper's §4.4.5 estimate assumes.
+	LatencyPerUnit time.Duration
+	// DropProb drops each message independently with this probability.
+	DropProb float64
+	// Bandwidth, if non-zero, adds Size/Bandwidth serialization delay
+	// (bytes per second).
+	Bandwidth float64
+}
+
+// Stats aggregates traffic counters.  ByKind maps the message Kind tag
+// to bytes sent, which lets an experiment isolate one protocol's cost.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	BytesSent         int64
+	ByKind            map[string]int64
+}
+
+// Network is the simulated fabric.  All sends and deliveries run on the
+// underlying sim.Kernel's virtual clock.
+type Network struct {
+	K     *sim.Kernel
+	cfg   Config
+	nodes []*Node
+	stats Stats
+	// partition[i] groups nodes; messages between different groups drop.
+	partition map[NodeID]int
+}
+
+// New creates an empty network over kernel k.
+func New(k *sim.Kernel, cfg Config) *Network {
+	return &Network{
+		K:         k,
+		cfg:       cfg,
+		stats:     Stats{ByKind: make(map[string]int64)},
+		partition: make(map[NodeID]int),
+	}
+}
+
+// AddNode places a node at (x, y) and returns it.  The node's GUID is
+// drawn from the kernel's seeded randomness, mimicking the random
+// node-ID assignment of the Plaxton scheme.
+func (n *Network) AddNode(x, y float64) *Node {
+	nd := &Node{
+		ID:   NodeID(len(n.nodes)),
+		Addr: guid.Random(n.K.Rand()),
+		X:    x, Y: y,
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// AddRandomNodes places count nodes uniformly on the unit square scaled
+// by extent, assigning each to one of domains administrative domains.
+func (n *Network) AddRandomNodes(count int, extent float64, domains int) []*Node {
+	out := make([]*Node, count)
+	for i := range out {
+		nd := n.AddNode(n.K.Rand().Float64()*extent, n.K.Rand().Float64()*extent)
+		if domains > 0 {
+			nd.Domain = n.K.Rand().Intn(domains)
+		}
+		out[i] = nd
+	}
+	return out
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.nodes) }
+
+// Nodes returns the underlying node slice (do not mutate its length).
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Latency returns the modeled one-way latency between two nodes.
+func (n *Network) Latency(a, b NodeID) time.Duration {
+	na, nb := n.nodes[a], n.nodes[b]
+	d := math.Hypot(na.X-nb.X, na.Y-nb.Y)
+	return n.cfg.BaseLatency + time.Duration(d*float64(n.cfg.LatencyPerUnit))
+}
+
+// Distance returns the plane distance between two nodes.
+func (n *Network) Distance(a, b NodeID) float64 {
+	na, nb := n.nodes[a], n.nodes[b]
+	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
+}
+
+// SetPartition places a node into a partition group.  Messages between
+// different groups are dropped until ClearPartitions.
+func (n *Network) SetPartition(id NodeID, group int) { n.partition[id] = group }
+
+// ClearPartitions heals all partitions.
+func (n *Network) ClearPartitions() { n.partition = make(map[NodeID]int) }
+
+// Send routes one message.  It accounts for the bytes regardless of
+// whether delivery succeeds (the sender still paid to transmit), then
+// schedules delivery after the modeled latency unless the message is
+// dropped by a crash, partition, or random loss.
+func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
+	if from < 0 || int(from) >= len(n.nodes) || to < 0 || int(to) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: send %d->%d out of range", from, to))
+	}
+	src := n.nodes[from]
+	if src.Down {
+		return // a crashed node sends nothing and pays nothing
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(size)
+	n.stats.ByKind[kind] += int64(size)
+
+	if n.partition[from] != n.partition[to] {
+		n.stats.MessagesDropped++
+		return
+	}
+	if n.cfg.DropProb > 0 && n.K.Rand().Float64() < n.cfg.DropProb {
+		n.stats.MessagesDropped++
+		return
+	}
+	lat := n.Latency(from, to)
+	if n.cfg.Bandwidth > 0 {
+		lat += time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+	}
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
+	n.K.After(lat, func() {
+		dst := n.nodes[to]
+		if dst.Down || len(dst.handlers) == 0 {
+			n.stats.MessagesDropped++
+			return
+		}
+		n.stats.MessagesDelivered++
+		for _, h := range dst.handlers {
+			h(msg)
+		}
+	})
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.ByKind = make(map[string]int64, len(n.stats.ByKind))
+	for k, v := range n.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters, so an experiment can measure
+// one protocol run in isolation.
+func (n *Network) ResetStats() {
+	n.stats = Stats{ByKind: make(map[string]int64)}
+}

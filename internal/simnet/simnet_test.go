@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"oceanstore/internal/sim"
+)
+
+func uniformNet(t *testing.T, n int, base time.Duration) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel(7)
+	net := New(k, Config{BaseLatency: base})
+	for i := 0; i < n; i++ {
+		net.AddNode(0, 0)
+	}
+	return k, net
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	k, net := uniformNet(t, 2, 100*time.Millisecond)
+	var gotAt time.Duration
+	var got Message
+	net.Node(1).Handle(func(m Message) { gotAt = k.Now(); got = m })
+	net.Send(0, 1, "test", "hello", 42)
+	k.Run()
+	if gotAt != 100*time.Millisecond {
+		t.Fatalf("delivered at %v, want 100ms", gotAt)
+	}
+	if got.Payload.(string) != "hello" || got.Size != 42 || got.From != 0 {
+		t.Fatalf("message mangled: %+v", got)
+	}
+}
+
+func TestDistanceLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := New(k, Config{BaseLatency: 10 * time.Millisecond, LatencyPerUnit: time.Millisecond})
+	net.AddNode(0, 0)
+	net.AddNode(3, 4) // distance 5
+	if lat := net.Latency(0, 1); lat != 15*time.Millisecond {
+		t.Fatalf("latency = %v, want 15ms", lat)
+	}
+}
+
+func TestBandwidthSerializationDelay(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := New(k, Config{BaseLatency: 10 * time.Millisecond, Bandwidth: 1000}) // 1 kB/s
+	net.AddNode(0, 0)
+	net.AddNode(0, 0)
+	var at time.Duration
+	net.Node(1).Handle(func(Message) { at = k.Now() })
+	net.Send(0, 1, "bulk", nil, 500) // 0.5s serialization
+	k.Run()
+	if at != 510*time.Millisecond {
+		t.Fatalf("delivered at %v, want 510ms", at)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	k, net := uniformNet(t, 3, time.Millisecond)
+	for i := 1; i <= 2; i++ {
+		net.Node(NodeID(i)).Handle(func(Message) {})
+	}
+	net.Send(0, 1, "a", nil, 100)
+	net.Send(0, 2, "a", nil, 50)
+	net.Send(0, 1, "b", nil, 7)
+	k.Run()
+	s := net.Stats()
+	if s.BytesSent != 157 {
+		t.Fatalf("bytes = %d, want 157", s.BytesSent)
+	}
+	if s.ByKind["a"] != 150 || s.ByKind["b"] != 7 {
+		t.Fatalf("by kind = %v", s.ByKind)
+	}
+	if s.MessagesSent != 3 || s.MessagesDelivered != 3 {
+		t.Fatalf("counts = %+v", s)
+	}
+	net.ResetStats()
+	if got := net.Stats(); got.BytesSent != 0 || len(got.ByKind) != 0 {
+		t.Fatalf("reset failed: %+v", got)
+	}
+}
+
+func TestCrashedNodes(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+
+	net.Node(1).Down = true
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 0 {
+		t.Fatal("delivered to a down node")
+	}
+	// Crashed sender pays nothing and sends nothing.
+	net.ResetStats()
+	net.Node(1).Down = false
+	net.Node(0).Down = true
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if s := net.Stats(); s.MessagesSent != 0 || s.BytesSent != 0 {
+		t.Fatalf("down sender accounted: %+v", s)
+	}
+	// Recovery: node comes back up and receives again.
+	net.Node(0).Down = false
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+	net.SetPartition(0, 1) // node 0 in group 1, node 1 in group 0
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 0 {
+		t.Fatal("message crossed a partition")
+	}
+	net.ClearPartitions()
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 1 {
+		t.Fatal("healed partition did not deliver")
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	k := sim.NewKernel(11)
+	net := New(k, Config{BaseLatency: time.Millisecond, DropProb: 0.5})
+	net.AddNode(0, 0)
+	net.AddNode(0, 0)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		net.Send(0, 1, "x", nil, 1)
+	}
+	k.Run()
+	if delivered < total*4/10 || delivered > total*6/10 {
+		t.Fatalf("delivered %d of %d with p=0.5", delivered, total)
+	}
+	s := net.Stats()
+	if s.MessagesDropped+s.MessagesDelivered != total {
+		t.Fatalf("drop+deliver != sent: %+v", s)
+	}
+}
+
+func TestAddRandomNodesDomains(t *testing.T) {
+	k := sim.NewKernel(3)
+	net := New(k, Config{})
+	nodes := net.AddRandomNodes(200, 10, 5)
+	if net.Len() != 200 {
+		t.Fatalf("len = %d", net.Len())
+	}
+	seen := map[int]bool{}
+	for _, nd := range nodes {
+		if nd.X < 0 || nd.X > 10 || nd.Y < 0 || nd.Y > 10 {
+			t.Fatalf("node outside extent: %+v", nd)
+		}
+		if nd.Domain < 0 || nd.Domain >= 5 {
+			t.Fatalf("bad domain %d", nd.Domain)
+		}
+		seen[nd.Domain] = true
+		if nd.Addr.IsZero() {
+			t.Fatal("node has zero GUID")
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("domains used = %d, want 5", len(seen))
+	}
+}
+
+func TestUnhandledDeliveryCountsAsDrop(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if s := net.Stats(); s.MessagesDropped != 1 {
+		t.Fatalf("no-handler delivery should drop: %+v", s)
+	}
+}

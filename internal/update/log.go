@@ -1,0 +1,96 @@
+package update
+
+import (
+	"time"
+
+	"oceanstore/internal/guid"
+	"oceanstore/internal/object"
+)
+
+// LogEntry records one applied (or aborted) update: "the update itself
+// is logged regardless of whether it commits or aborts" (§4.4.1).
+type LogEntry struct {
+	Update  *Update
+	Outcome Outcome
+	At      time.Duration
+}
+
+// Log is an append-only per-object update log.  Powerful clients can
+// replay it to regenerate and re-encrypt an object in whole (§4.4.2).
+type Log struct {
+	entries []LogEntry
+	byID    map[UpdateID]int
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log { return &Log{byID: make(map[UpdateID]int)} }
+
+// Append records an update outcome.  Duplicate update IDs are ignored
+// (epidemic propagation redelivers), keeping the log idempotent.
+func (l *Log) Append(u *Update, o Outcome, at time.Duration) bool {
+	if _, dup := l.byID[u.ID()]; dup {
+		return false
+	}
+	l.byID[u.ID()] = len(l.entries)
+	l.entries = append(l.entries, LogEntry{Update: u, Outcome: o, At: at})
+	return true
+}
+
+// Seen reports whether an update ID was already logged.
+func (l *Log) Seen(id UpdateID) bool {
+	_, ok := l.byID[id]
+	return ok
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Entries returns a copy of the log in order.
+func (l *Log) Entries() []LogEntry {
+	return append([]LogEntry(nil), l.entries...)
+}
+
+// Commits returns only the committed entries, the object's modification
+// history (§4.5 "interfaces will exist to examine modification
+// history").
+func (l *Log) Commits() []LogEntry {
+	var out []LogEntry
+	for _, e := range l.entries {
+		if e.Outcome.Committed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ---- Convenience constructors for common update shapes ----
+
+// NewUnconditional builds an update whose single guard always fires.
+func NewUnconditional(obj guid.GUID, actions []Action) *Update {
+	return &Update{
+		Object: obj,
+		Guards: []Guard{{Preds: []Predicate{{Kind: PredAlways}}, Actions: actions}},
+	}
+}
+
+// NewVersionGuarded builds the optimistic-concurrency shape: the guard
+// fires only if the object is still at the assumed version — the
+// transactional read-set check of §4.4.1 in its simplest form.
+func NewVersionGuarded(obj guid.GUID, assumed uint64, actions []Action) *Update {
+	return &Update{
+		Object: obj,
+		Guards: []Guard{{
+			Preds:   []Predicate{{Kind: PredCompareVersion, Cmp: CmpEQ, Version: assumed}},
+			Actions: actions,
+		}},
+	}
+}
+
+// BlockOps wraps primitive object ops as actions.
+func BlockOps(ops ...object.Op) []Action {
+	out := make([]Action, len(ops))
+	for i, op := range ops {
+		out[i] = Action{Kind: ActBlockOp, Op: op}
+	}
+	return out
+}
