@@ -1,0 +1,27 @@
+# Tier-1 gate: every change must keep `make check` green.
+GO ?= go
+
+.PHONY: check vet build test race fuzz-corpora bench
+
+check: vet build race fuzz-corpora
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replay the checked-in fuzz seed corpora (testdata/fuzz/...) without
+# fuzzing — regression mode.  `go test -fuzz=FuzzRS ./internal/erasure`
+# explores beyond them.
+fuzz-corpora:
+	$(GO) test -run 'Fuzz' ./internal/erasure/
+
+bench:
+	$(GO) test -bench . -benchmem ./...

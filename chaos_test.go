@@ -1,0 +1,106 @@
+package oceanstore_test
+
+// The chaos harness demo (README "Fault injection"): a client keeps
+// reading and writing while the demo fault plan — 10% message loss, a
+// scheduled partition, and five churning nodes — runs underneath.  The
+// protocol layers absorb the faults by retrying: remote reads fall
+// over to alternate replicas, the primary tier retransmits and changes
+// views, and every retry is visible in simnet.Stats.  The deeper
+// invariant sweep (many seeds × many plans) lives in
+// internal/fault/invariant_test.go; this test is the one-plan,
+// readable version of the same story.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oceanstore"
+	"oceanstore/internal/fault"
+)
+
+func TestChaosDemo(t *testing.T) {
+	cfg := oceanstore.DefaultConfig()
+	cfg.Nodes = 24
+	world := oceanstore.NewWorld(1, cfg)
+	alice := world.NewClient("alice")
+
+	doc, err := alice.Create("journal", []byte("day0;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floating replicas — deliberately including churning node 5 and
+	// partitioned node 13, so reads actually hit dead or cut-off servers
+	// and have to fall over.
+	for _, n := range []int{5, 13, 9} {
+		if err := world.AddReplica(doc, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unleash the demo plan: 10% drop everywhere, nodes 12..14
+	// partitioned off from t=30s to t=80s, nodes 4..8 crashing and
+	// recovering on a cycle.
+	eng := fault.Install(world.Pool.Net, fault.DemoChaosPlan(cfg.Nodes))
+	defer eng.Uninstall()
+
+	// Writer: an update every 15 virtual seconds.  Updates ride the
+	// Byzantine agreement of the primary tier; under loss the client
+	// retransmits until the commit certificate assembles.
+	sess := alice.NewSession(oceanstore.ReadYourWrites | oceanstore.MonotonicWrites)
+	committed := 0
+	sess.OnCommit(func(oceanstore.GUID, oceanstore.UpdateID) { committed++ })
+	for i := 0; i < 6; i++ {
+		world.Pool.K.At(time.Duration(5+15*i)*time.Second, func() {
+			if _, err := sess.Append(doc, []byte("entry;")); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		})
+	}
+
+	// Reader: a remote read every 20 virtual seconds, each with a
+	// deadline.  Under churn the first target may be down or cut off;
+	// the read retries alternates with capped exponential backoff.
+	reader := alice.NewSession(oceanstore.MonotonicReads)
+	readsOK, readsErr := 0, 0
+	for i := 0; i < 5; i++ {
+		world.Pool.K.At(time.Duration(10+20*i)*time.Second, func() {
+			reader.RemoteRead(doc, 30*time.Second, func(data []byte, err error) {
+				if err != nil {
+					readsErr++
+				} else {
+					readsOK++
+				}
+			})
+		})
+	}
+
+	world.Run(150 * time.Second)
+
+	// The workload made it through the chaos.
+	if committed == 0 {
+		t.Fatal("no update committed under the demo fault plan")
+	}
+	if readsOK == 0 {
+		t.Fatal("no remote read completed under the demo fault plan")
+	}
+	final, err := reader.Read(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(final), "entry;") {
+		t.Fatalf("committed entries missing from final state %q", final)
+	}
+
+	// ...and the retries that made that possible are accounted for.
+	st := world.Pool.Net.Stats()
+	if st.Retries == 0 {
+		t.Fatal("chaos run finished without a single recorded retry")
+	}
+	if st.DroppedByFault == 0 {
+		t.Fatal("fault plan recorded no dropped messages")
+	}
+	t.Logf("chaos demo: %d commits, %d/%d reads ok, %d retries %v, dropped: fault=%d crash=%d partition=%d",
+		committed, readsOK, readsOK+readsErr, st.Retries, st.RetriesByKind,
+		st.DroppedByFault, st.DroppedByCrash, st.DroppedByPartition)
+}

@@ -2,6 +2,7 @@ package archive
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"oceanstore/internal/guid"
@@ -151,49 +152,70 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 	}
 	s.inflight[rid] = st
 
-	// Ask the closest holders first — fragment search finds close
-	// fragments first as it climbs the location tree (§4.5).
+	// sendRound recomputes the live candidate set each call: holders that
+	// crashed since the last round drop out, recovered holders rejoin.
+	// Closest holders are asked first — fragment search finds close
+	// fragments first as it climbs the location tree (§4.5) — and each
+	// round widens the over-request by one so later rounds escalate to
+	// fragments in alternate domains (across a partition cut, the far
+	// side is unreachable; escalation keeps adding holders until the RS
+	// threshold's worth of reachable ones is covered).
 	type cand struct {
 		idx int
 		nid simnet.NodeID
 	}
-	var cands []cand
-	for idx, nid := range placement {
-		if !s.net.Node(nid).Down {
-			cands = append(cands, cand{idx, nid})
-		}
-	}
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if s.net.Latency(from, cands[j].nid) < s.net.Latency(from, cands[i].nid) {
-				cands[i], cands[j] = cands[j], cands[i]
-			}
-		}
-	}
-	want := cfg.DataShards + extra
-	if want > len(cands) {
-		want = len(cands)
-	}
+	round := 0
 	sendRound := func() {
-		for _, c := range cands[:want] {
-			if _, have := st.got[c.idx]; have {
+		var cands []cand
+		for idx, nid := range placement {
+			if _, have := st.got[idx]; have {
 				continue
 			}
+			if !s.net.Node(nid).Down {
+				cands = append(cands, cand{idx, nid})
+			}
+		}
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if s.net.Latency(from, cands[j].nid) < s.net.Latency(from, cands[i].nid) {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		need := cfg.DataShards - len(st.got)
+		want := need + extra + round
+		if want > len(cands) {
+			want = len(cands)
+		}
+		for _, c := range cands[:want] {
 			s.net.Send(from, c.nid, KindRequest,
 				requestMsg{Root: root, Index: c.idx, Reply: from, Rid: rid}, 64)
 		}
 	}
 	sendRound()
-	// Re-request missing fragments periodically: requests and replies
-	// both ride a lossy network, so the requester retries until the
-	// deadline (soft-state, like everything else in OceanStore).
-	cancel := s.net.K.Every(time.Second, func() {
-		if !st.done {
+	// Re-request missing fragments with capped exponential backoff:
+	// requests and replies both ride a lossy network, so the requester
+	// retries until the deadline (soft-state, like everything else in
+	// OceanStore).
+	const maxGap = 8 * time.Second
+	var rearm func(gap time.Duration)
+	rearm = func(gap time.Duration) {
+		s.net.K.After(gap, func() {
+			if st.done {
+				return
+			}
+			round++
+			s.net.NoteRetry(KindRequest)
 			sendRound()
-		}
-	})
+			next := gap * 2
+			if next > maxGap {
+				next = maxGap
+			}
+			rearm(next)
+		})
+	}
+	rearm(time.Second)
 	s.net.K.After(deadline, func() {
-		cancel()
 		if st.done {
 			return
 		}
@@ -253,6 +275,8 @@ func (s *Service) RepairSweep(threshold int, domainRank []int) []guid.GUID {
 	for root := range s.where {
 		roots = append(roots, root)
 	}
+	// Map order is random; sweep in GUID order so runs are reproducible.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Compare(roots[j]) < 0 })
 	for _, root := range roots {
 		if s.LiveFragments(root) > threshold {
 			continue

@@ -1,0 +1,168 @@
+package bloom
+
+// Staleness tests for the probabilistic locator (paper §4.3.2).
+// Attenuated Bloom filters are propagated by gossip, so between a
+// replica vanishing (eviction, crash, node departure) and the next
+// exchange round the filters over-advertise: they still claim the
+// object is reachable.  A query chasing such a stale positive must
+// degrade exactly the way the paper prescribes — it burns hops and then
+// defers to the global algorithm (Found=false within TTL) — and it must
+// still find a surviving replica when one exists.  Bloom false
+// positives behave identically to staleness (both are over-
+// approximation), so the saturated-filter cases ride the same table.
+
+import (
+	"math/rand"
+	"testing"
+
+	"oceanstore/internal/guid"
+)
+
+// ringAdj builds a bidirectional ring of n nodes.
+func ringAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + 1) % n, (i + n - 1) % n}
+	}
+	return adj
+}
+
+func TestLocatorStaleness(t *testing.T) {
+	const (
+		nodes      = 12
+		depth      = 4
+		defaultTTL = 6
+	)
+	cases := []struct {
+		name string
+		// place seeds object copies; unplace removes some of them after
+		// the filters were built, WITHOUT a rebuild — the staleness window.
+		place, unplace []int
+		rebuild        bool // rebuild again after unplacing (fresh filters)
+		mBits          int  // filter size; tiny values force false positives
+		objects        int  // background objects placed everywhere (saturation)
+		ttl            int  // 0 means defaultTTL
+		wantFound      bool
+		wantNode       int // only checked when wantFound
+	}{
+		// Node 3 is three hops from the query origin, inside the depth-4
+		// filter horizon; node 5 would be past it and never advertised.
+		{
+			name:  "fresh-filters-find-the-replica",
+			place: []int{3}, mBits: 1024,
+			wantFound: true, wantNode: 3,
+		},
+		{
+			name:  "stale-positive-terminates-within-ttl",
+			place: []int{3}, unplace: []int{3}, mBits: 1024,
+			wantFound: false,
+		},
+		{
+			name:  "rebuilt-filters-fail-fast",
+			place: []int{3}, unplace: []int{3}, rebuild: true, mBits: 1024,
+			wantFound: false,
+		},
+		// The stale advert for departed node 2 poisons filters up to depth
+		// hops around it (union paths double back), so the walk first
+		// chases the hole; with enough TTL it escapes and circles the ring
+		// to the surviving replica.
+		{
+			name:  "stale-entry-falls-over-to-surviving-replica",
+			place: []int{2, 9}, unplace: []int{2}, mBits: 1024, ttl: 10,
+			wantFound: true, wantNode: 9,
+		},
+		{
+			name:  "saturated-filters-still-terminate",
+			place: nil, mBits: 64, objects: 40,
+			wantFound: false,
+		},
+		{
+			name:  "departed-node-with-many-objects",
+			place: []int{2}, unplace: []int{2}, mBits: 256, objects: 20,
+			wantFound: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			l := NewLocator(ringAdj(nodes), depth, tc.mBits, 3)
+			target := guid.Random(rng)
+			for _, u := range tc.place {
+				l.Place(u, target)
+			}
+			// Background objects saturate the filters, raising the false-
+			// positive rate the same way real multiplexed state does.
+			for i := 0; i < tc.objects; i++ {
+				l.Place(i%nodes, guid.Random(rng))
+			}
+			l.Rebuild()
+			for _, u := range tc.unplace {
+				l.Remove(u, target) // NO rebuild: the filters go stale
+			}
+			if tc.rebuild {
+				l.Rebuild()
+			}
+			ttl := tc.ttl
+			if ttl == 0 {
+				ttl = defaultTTL
+			}
+
+			res := l.Query(0, target, ttl, rng)
+
+			if res.Hops > ttl {
+				t.Fatalf("query used %d hops, TTL is %d", res.Hops, ttl)
+			}
+			if len(res.Path) > ttl+1 {
+				t.Fatalf("query visited %d nodes, TTL bounds it to %d", len(res.Path), ttl+1)
+			}
+			if res.Found != tc.wantFound {
+				t.Fatalf("Found=%v want %v (path %v)", res.Found, tc.wantFound, res.Path)
+			}
+			if tc.wantFound && res.Node != tc.wantNode {
+				t.Fatalf("found at node %d, want %d (path %v)", res.Node, tc.wantNode, res.Path)
+			}
+			if !tc.wantFound {
+				// Deferring to the global mesh means reporting failure, not
+				// a bogus holder.
+				if res.Node != 0 || res.Found {
+					t.Fatalf("failed query must not nominate a holder: %+v", res)
+				}
+			}
+		})
+	}
+}
+
+// TestLocatorStaleFalsePositiveRate quantifies the staleness window:
+// after a replica departs without a filter exchange, queries for it
+// still walk toward the hole (wasted hops) but every one of them
+// terminates and defers.  This is the locator-level analogue of the
+// filter-level FalsePositiveRate accessor.
+func TestLocatorStaleFalsePositiveRate(t *testing.T) {
+	const trials = 50
+	rng := rand.New(rand.NewSource(11))
+	l := NewLocator(ringAdj(10), 4, 512, 3)
+	var objs []guid.GUID
+	for i := 0; i < trials; i++ {
+		g := guid.Random(rng)
+		objs = append(objs, g)
+		l.Place(3, g) // three hops out: inside the filter horizon
+	}
+	l.Rebuild()
+	for _, g := range objs {
+		l.Remove(3, g) // node 3 departs with everything it held
+	}
+	wasted := 0
+	for _, g := range objs {
+		res := l.Query(0, g, 8, rng)
+		if res.Found {
+			t.Fatalf("object %s found after its only holder departed", g.Short())
+		}
+		if res.Hops > 8 {
+			t.Fatalf("query exceeded TTL: %+v", res)
+		}
+		wasted += res.Hops
+	}
+	if wasted == 0 {
+		t.Fatal("stale filters should cost some wasted hops; zero means the staleness window is not being exercised")
+	}
+}

@@ -161,6 +161,11 @@ type viewChangeMsg struct {
 	Tag     guid.GUID
 	NewView uint64
 	Replica int
+	// Installed announces that the sender has installed NewView (it saw
+	// 2f+1 votes) — the new-view message of PBFT, minus the proofs.  A
+	// replica adopts a view once f+1 distinct peers claim it installed,
+	// which guarantees at least one honest witness.
+	Installed bool
 }
 
 // Group is one object's primary tier.
@@ -291,12 +296,26 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 		if cs.done[req.ID] {
 			return
 		}
+		g.net.NoteRetry(kindRequest)
 		for i := range g.replicas {
 			g.net.Send(client, g.nodes[i], kindRequest, req, req.Size+CHeader)
 		}
 		g.net.K.After(2*g.RequestTimeout, retransmit)
 	}
 	g.net.K.After(2*g.RequestTimeout, retransmit)
+}
+
+// Cancel abandons a client's outstanding request: the retransmission
+// loop stops at its next firing and any late quorum is ignored.  Layers
+// that give up on an update (a session's update timeout) call this so a
+// timed-out request cannot hold virtual time hostage.
+func (g *Group) Cancel(client simnet.NodeID, id guid.GUID) {
+	cs := g.clients[client]
+	if cs == nil || cs.done[id] {
+		return
+	}
+	cs.done[id] = true
+	delete(cs.callbacks, id)
 }
 
 // currentView reports the highest view any live replica is in — the
@@ -366,3 +385,6 @@ func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
 		}
 	}
 }
+
+// View reports replica i's current view (diagnostics).
+func (g *Group) View(i int) uint64 { return g.replicas[i].view }

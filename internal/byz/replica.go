@@ -1,6 +1,7 @@
 package byz
 
 import (
+	"sort"
 	"time"
 
 	"oceanstore/internal/crypt"
@@ -56,6 +57,14 @@ type replica struct {
 	viewVotes map[uint64]map[int]bool
 	// seen maps request ID -> seq to avoid double assignment.
 	assigned map[guid.GUID]uint64
+	// installedClaims records which peers claim to have installed which
+	// views, for the f+1 catch-up jump.
+	installedClaims map[uint64]map[int]bool
+	// doneIDs maps executed request IDs to their sequence number, so a
+	// client retransmission can be answered with a fresh reply (PBFT:
+	// "if the replica has already executed the request it re-sends the
+	// reply") even after the slot is truncated.
+	doneIDs map[guid.GUID]uint64
 }
 
 func newReplica(g *Group, id int) *replica {
@@ -67,6 +76,9 @@ func newReplica(g *Group, id int) *replica {
 		timers:    make(map[guid.GUID]bool),
 		viewVotes: make(map[uint64]map[int]bool),
 		assigned:  make(map[guid.GUID]uint64),
+		doneIDs:   make(map[guid.GUID]uint64),
+
+		installedClaims: make(map[uint64]map[int]bool),
 	}
 }
 
@@ -113,8 +125,35 @@ func (r *replica) handle(m simnet.Message) {
 	}
 }
 
+func (r *replica) armTimer(id guid.GUID) {
+	if r.timers[id] {
+		return
+	}
+	r.timers[id] = true
+	r.g.net.K.After(r.g.RequestTimeout, func() { r.requestTimeout(id) })
+}
+
 func (r *replica) onRequest(req Request) {
-	if _, done := r.assigned[req.ID]; done {
+	if seq, done := r.doneIDs[req.ID]; done {
+		// Already executed: re-send the reply (the first one may have been
+		// dropped; replies are never otherwise retransmitted).
+		r.reply(seq, req.ID, req.Client)
+		return
+	}
+	// Any retransmission doubles as a heartbeat: re-push this replica's
+	// outstanding view-change votes, which are otherwise sent exactly
+	// once and wedge the view change when dropped.
+	r.refreshViewVotes()
+	if seq, ok := r.assigned[req.ID]; ok {
+		// Pre-prepared but not yet executed: the slot may be stalled on
+		// dropped votes, which no one otherwise retransmits.  Re-announce
+		// our votes so the client's periodic retransmission heals vote
+		// loss, and re-arm the view-change timer so repeated failure
+		// escalates to a view change instead of wedging forever.
+		r.refreshVotes(seq)
+		if !r.isPrimary() {
+			r.armTimer(req.ID)
+		}
 		return
 	}
 	if r.isPrimary() {
@@ -137,11 +176,7 @@ func (r *replica) onRequest(req Request) {
 	if old, ok := r.pending[req.ID]; !ok || (old.Payload == nil && req.Payload != nil) {
 		r.pending[req.ID] = req
 	}
-	if !r.timers[req.ID] {
-		r.timers[req.ID] = true
-		id := req.ID
-		r.g.net.K.After(r.g.RequestTimeout, func() { r.requestTimeout(id) })
-	}
+	r.armTimer(req.ID)
 }
 
 // propose assigns the next sequence number and pre-prepares.
@@ -254,19 +289,71 @@ func (r *replica) executeReady() {
 		s.executed = true
 		seq := r.execCursor
 		r.execCursor++
+		if _, dup := r.doneIDs[s.req.ID]; dup {
+			// A view change recycled a request this replica had already
+			// executed under an earlier sequence number (the new primary
+			// had not committed it).  Agreeing on the slot is fine;
+			// executing it twice is not.
+			continue
+		}
+		r.doneIDs[s.req.ID] = seq
 		r.executed = append(r.executed, s.digest)
 		if r.exec != nil && r.fault == Honest {
 			r.exec(seq, s.req)
 		}
 		// Reply to the client (Fig 5c path back), signing the result so
 		// the client can assemble an offline commit certificate.
-		digest := s.digest
-		if r.fault == Lying {
-			digest = guid.FromData([]byte("lie"))
+		r.reply(seq, s.req.ID, s.req.Client)
+	}
+}
+
+// reply sends (or re-sends) the signed execution reply for an executed
+// request.  Honest replicas' slot digest is always the request ID, so a
+// re-reply needs only the (seq, id) pair retained in doneIDs.
+func (r *replica) reply(seq uint64, id guid.GUID, client simnet.NodeID) {
+	digest := id
+	if r.fault == Lying {
+		digest = guid.FromData([]byte("lie"))
+	}
+	sig := r.g.signers[r.id].Sign(certBytes(r.g.tag, seq, digest))
+	r.g.net.Send(r.node(), client, kindReply,
+		replyMsg{Tag: r.g.tag, Seq: seq, ID: id, Digest: digest, From: r.id, Sig: sig}, CReply+crypt.SignatureSize)
+}
+
+// refreshVotes re-broadcasts this replica's own prepare/commit votes
+// for an unexecuted slot.  Votes are sent exactly once in the normal
+// flow; under message loss a slot can hold 2f matching votes forever.
+// Retransmission is driven by client retries, so it stops by itself.
+func (r *replica) refreshVotes(seq uint64) {
+	s, ok := r.slots[seq]
+	if !ok || !s.hasReq || s.executed {
+		return
+	}
+	if d, voted := s.prepares[r.id]; voted {
+		r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: d, Replica: r.id}, CSmall)
+	}
+	if d, voted := s.commits[r.id]; voted {
+		r.broadcast(kindCommit, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: d, Replica: r.id}, CSmall)
+	}
+}
+
+// refreshViewVotes re-broadcasts this replica's outstanding view-change
+// votes (views above the installed one) in ascending view order, plus
+// an installed announcement for the current view, so replicas stranded
+// in older views keep hearing about it.
+func (r *replica) refreshViewVotes() {
+	var views []uint64
+	for nv, votes := range r.viewVotes {
+		if nv > r.view && votes[r.id] {
+			views = append(views, nv)
 		}
-		sig := r.g.signers[r.id].Sign(certBytes(r.g.tag, seq, digest))
-		r.g.net.Send(r.node(), s.req.Client, kindReply,
-			replyMsg{Tag: r.g.tag, Seq: seq, ID: s.req.ID, Digest: digest, From: r.id, Sig: sig}, CReply+crypt.SignatureSize)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+	for _, nv := range views {
+		r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: nv, Replica: r.id}, CSmall)
+	}
+	if r.view > 0 {
+		r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: r.view, Replica: r.id, Installed: true}, CSmall)
 	}
 }
 
@@ -283,32 +370,86 @@ func (r *replica) truncateLog() {
 	}
 }
 
-// requestTimeout fires when a backup saw a request the primary never
-// pre-prepared: vote to change views.
+// requestTimeout fires when a request this backup knows about has not
+// executed in time — the primary never pre-prepared it, or its slot
+// stalled on dropped votes: vote to change views.  The timer is NOT
+// self-re-arming; the client's periodic retransmission re-arms it (via
+// onRequest), so escalation stops by itself once the client gives up
+// or the request executes.
 func (r *replica) requestTimeout(id guid.GUID) {
+	delete(r.timers, id)
 	if r.fault == Crashed {
 		return
 	}
-	if _, still := r.pending[id]; !still {
-		return // pre-prepared in time
+	if _, done := r.doneIDs[id]; done {
+		return
 	}
-	delete(r.timers, id)
+	if _, still := r.pending[id]; !still {
+		seq, ok := r.assigned[id]
+		if !ok {
+			return // a view change recycled the request; a retransmit restarts it
+		}
+		if s2, live := r.slots[seq]; !live || s2.executed {
+			return
+		}
+	}
 	nv := r.view + 1
 	r.voteView(nv)
 	r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: nv, Replica: r.id}, CSmall)
-	// Re-arm: if the new view stalls too, escalate again.
-	r.g.net.K.After(r.g.RequestTimeout, func() { r.requestTimeout(id) })
-	r.timers[id] = true
 }
 
 func (r *replica) onViewChange(vc viewChangeMsg) {
 	if vc.NewView <= r.view {
 		return
 	}
+	if vc.Installed {
+		// A peer claims this view is already installed.  One claim could
+		// be a lie; f+1 distinct claimants include an honest replica, so
+		// jump straight to the view (PBFT's new-view, minus the proofs).
+		// Without this, replicas that installed a view stop advertising
+		// its votes and laggards can never assemble 2f+1 — the tier
+		// splits across views forever.
+		if r.installedClaims[vc.NewView] == nil {
+			r.installedClaims[vc.NewView] = make(map[int]bool)
+		}
+		r.installedClaims[vc.NewView][vc.Replica] = true
+		if len(r.installedClaims[vc.NewView]) >= r.g.f+1 {
+			r.installView(vc.NewView)
+		}
+		return
+	}
 	if r.viewVotes[vc.NewView] == nil {
 		r.viewVotes[vc.NewView] = make(map[int]bool)
 	}
 	r.viewVotes[vc.NewView][vc.Replica] = true
+	// PBFT's catch-up rule: when f+1 distinct replicas are voting for
+	// views beyond ours, join the smallest such view even without a
+	// local timeout.  Without this, replicas whose timeouts fired at
+	// different moments scatter their votes across different view
+	// numbers (one stuck at view 0 votes for 1 while the rest vote for
+	// 2) and no view ever collects 2f+1 votes — a livelock that message
+	// loss makes routine.
+	ahead := make(map[int]bool)
+	smallest := uint64(0)
+	for nv, votes := range r.viewVotes {
+		if nv <= r.view {
+			continue
+		}
+		for rep := range votes {
+			if rep != r.id {
+				ahead[rep] = true
+			}
+		}
+		if smallest == 0 || nv < smallest {
+			smallest = nv
+		}
+	}
+	if len(ahead) >= r.g.f+1 && !r.viewVotes[smallest][r.id] {
+		r.voteView(smallest)
+		if r.view < smallest {
+			r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: smallest, Replica: r.id}, CSmall)
+		}
+	}
 	r.maybeNewView(vc.NewView)
 }
 
@@ -326,6 +467,16 @@ func (r *replica) maybeNewView(nv uint64) {
 	if nv <= r.view || len(r.viewVotes[nv]) < 2*r.g.f+1 {
 		return
 	}
+	r.installView(nv)
+}
+
+// installView switches to view nv: recycles un-committed slots back to
+// pending, purges dead votes, announces the installation, and (as the
+// new primary) re-proposes what it can.
+func (r *replica) installView(nv uint64) {
+	if nv <= r.view {
+		return
+	}
 	r.view = nv
 	// Abandon un-pre-prepared slots from the old view; keep committed
 	// state (sequence numbers already executed are final).
@@ -339,10 +490,29 @@ func (r *replica) maybeNewView(nv uint64) {
 			}
 		}
 	}
+	// Votes for views at or below the installed one are dead weight.
+	for v := range r.viewVotes {
+		if v <= r.view {
+			delete(r.viewVotes, v)
+		}
+	}
+	for v := range r.installedClaims {
+		if v <= r.view {
+			delete(r.installedClaims, v)
+		}
+	}
+	r.broadcast(kindViewChange, viewChangeMsg{Tag: r.g.tag, NewView: r.view, Replica: r.id, Installed: true}, CSmall)
 	if r.isPrimary() {
 		// Defer a tick so every replica installs the view first.
 		r.g.net.K.After(time.Millisecond, func() {
-			for id, req := range r.pending {
+			// Deterministic proposal order (pending is a map).
+			ids := make([]guid.GUID, 0, len(r.pending))
+			for id := range r.pending {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+			for _, id := range ids {
+				req := r.pending[id]
 				if req.Payload == nil && req.Size == 0 {
 					continue // digest-only notification; client will retry
 				}

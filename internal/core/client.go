@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/epidemic"
@@ -97,6 +98,12 @@ type Session struct {
 	// per object, the rest released in issue order.
 	inflight map[guid.GUID]bool
 	queued   map[guid.GUID][]*update.Update
+	// UpdateTimeout, when non-zero, bounds how long a submitted write may
+	// stay unresolved in virtual time.  At the deadline the session gives
+	// up: abort callbacks fire, the byz client stops retransmitting, and
+	// the next queued write (MonotonicWrites) is released.  Zero keeps
+	// the protocol default of retransmitting until partitions heal.
+	UpdateTimeout time.Duration
 }
 
 // NewSession opens a session with the given guarantees.
@@ -264,11 +271,13 @@ func (s *Session) send(u *update.Update) {
 	id := u.ID()
 	obj := u.Object
 	s.inflight[obj] = true
-	ring.OnCommit(func(cu *update.Update, out update.Outcome) {
-		if cu.ID() != id {
+	resolved := false
+	finish := func(committed bool) {
+		if resolved {
 			return
 		}
-		if out.Committed {
+		resolved = true
+		if committed {
 			for _, cb := range s.onCommit {
 				cb(obj, id)
 			}
@@ -284,7 +293,27 @@ func (s *Session) send(u *update.Update) {
 			s.queued[obj] = q[1:]
 			s.send(next)
 		}
+	}
+	ring.OnCommit(func(cu *update.Update, out update.Outcome) {
+		if cu.ID() != id {
+			return
+		}
+		finish(out.Committed)
 	})
+	if s.UpdateTimeout > 0 {
+		// Virtual-time write timeout: give up, stop the retransmission
+		// loop, and unblock the MonotonicWrites queue.  Without it a
+		// write stalled behind a partition retransmits until the heal —
+		// correct for eventual delivery, wrong for a client that needs an
+		// answer.
+		c.pool.K.After(s.UpdateTimeout, func() {
+			if resolved {
+				return
+			}
+			ring.Cancel(c.Node, u)
+			finish(false)
+		})
+	}
 	ring.Submit(c.Node, u, c.Spread, nil)
 }
 

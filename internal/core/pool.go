@@ -82,6 +82,10 @@ type Pool struct {
 	// twoTier, when enabled, layers the probabilistic locator over the
 	// global mesh (§4.3).
 	twoTier *TwoTier
+	// readSvc is the lazily started remote-read service (readpath.go).
+	readSvc *readService
+	// router is the lazily started asynchronous mesh router.
+	router *plaxton.Router
 }
 
 // NewPool builds a deployment with the given seed.
@@ -120,6 +124,17 @@ func NewPool(seed int64, cfg PoolConfig) *Pool {
 
 // Config returns the pool configuration.
 func (p *Pool) Config() PoolConfig { return p.cfg }
+
+// Router returns the asynchronous mesh router: routes, publishes and
+// locates ride the simulated network with per-hop timeouts, backup-link
+// failover and capped exponential backoff, instead of the synchronous
+// table walk Mesh performs.
+func (p *Pool) Router() *plaxton.Router {
+	if p.router == nil {
+		p.router = plaxton.NewRouter(p.Mesh, p.Net, plaxton.DefaultRouterConfig())
+	}
+	return p.router
+}
 
 // pickPrimaries rotates 3f+1 primary-tier nodes for a new object.
 func (p *Pool) pickPrimaries() []simnet.NodeID {

@@ -17,6 +17,7 @@ package dtree
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"oceanstore/internal/simnet"
 )
@@ -112,12 +113,15 @@ func (t *Tree) Root() simnet.NodeID { return t.root }
 // Len returns the number of members.
 func (t *Tree) Len() int { return len(t.m) }
 
-// Members lists every member node (order unspecified).
+// Members lists every member node in NodeID order (callers send
+// messages and draw randomness based on this slice, so the order must
+// not depend on map iteration).
 func (t *Tree) Members() []simnet.NodeID {
 	out := make([]simnet.NodeID, 0, len(t.m))
 	for id := range t.m {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -147,7 +151,8 @@ func (t *Tree) Join(id simnet.NodeID) error {
 		return nil
 	}
 	best := simnet.None
-	for mid, mb := range t.m {
+	for _, mid := range t.Members() {
+		mb := t.m[mid]
 		if t.net.Node(mid).Down || len(mb.children) >= t.fanout {
 			continue
 		}
@@ -300,10 +305,13 @@ func (t *Tree) Leave(id simnet.NodeID) error {
 // members moved.
 func (t *Tree) Repair() int {
 	moved := 0
-	for id, mb := range t.m {
+	// Deterministic sweep order: which orphan reattaches first changes
+	// where later orphans can go (fanout caps).
+	for _, id := range t.Members() {
 		if id == t.root {
 			continue
 		}
+		mb := t.m[id]
 		if _, ok := t.m[mb.parent]; !ok || t.net.Node(mb.parent).Down {
 			t.reattach(id)
 			moved++
@@ -328,7 +336,8 @@ func (t *Tree) reattach(id simnet.NodeID) {
 	inSubtree := map[simnet.NodeID]bool{}
 	t.markSubtree(id, inSubtree)
 	best := simnet.None
-	for mid, pm := range t.m {
+	for _, mid := range t.Members() {
+		pm := t.m[mid]
 		if inSubtree[mid] || t.net.Node(mid).Down || len(pm.children) >= t.fanout {
 			continue
 		}
@@ -338,7 +347,7 @@ func (t *Tree) reattach(id simnet.NodeID) {
 	}
 	if best == simnet.None {
 		// Relax the fanout cap rather than orphan the node.
-		for mid := range t.m {
+		for _, mid := range t.Members() {
 			if inSubtree[mid] || t.net.Node(mid).Down {
 				continue
 			}

@@ -1,0 +1,162 @@
+package erasure
+
+// Fuzz targets for the archival codes.  The properties fuzzed are the
+// ones the deep-archival layer leans on (paper §4.5): any subset of at
+// least Required() distinct Reed-Solomon fragments reconstructs the
+// exact original, any smaller subset fails cleanly with an error (never
+// a panic, never wrong data), and the decoder survives arbitrary
+// adversarial fragment soup.  Seed corpora are checked in under
+// testdata/fuzz/<Name>/ so plain `go test` (and the tier-1 `make
+// check`) replays them as regression inputs; `go test -fuzz=FuzzRS`
+// explores further.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// geometry derives a small (n, f) code shape from two fuzz bytes.
+func geometry(g uint16) (n, f int) {
+	n = 1 + int(g&0x07)        // 1..8 data shards
+	f = n + 1 + int(g>>4)&0x0f // up to 15 parity shards
+	if f <= n {
+		f = n + 1
+	}
+	return n, f
+}
+
+// pick selects the fragment subset whose mask bits are set.
+func pick(frags []Fragment, mask uint64) []Fragment {
+	var out []Fragment
+	for i, fr := range frags {
+		if mask&(1<<uint(i%64)) != 0 {
+			out = append(out, fr)
+		}
+	}
+	return out
+}
+
+// FuzzRSRoundTrip checks the MDS property under arbitrary data and
+// arbitrary fragment subsets: >= n distinct fragments must reconstruct
+// byte-identical data, < n must return an error.
+func FuzzRSRoundTrip(f *testing.F) {
+	f.Add([]byte("deep archival storage"), uint16(0x23), uint64(0xffff))
+	f.Add([]byte(""), uint16(0x01), uint64(0x3))
+	f.Add([]byte{0, 0xff, 7}, uint16(0x77), uint64(0xaaaa))
+	f.Fuzz(func(t *testing.T, data []byte, geom uint16, mask uint64) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		n, tot := geometry(geom)
+		rs, err := NewReedSolomon(n, tot)
+		if err != nil {
+			t.Fatalf("geometry(%#x) produced invalid code: %v", geom, err)
+		}
+		frags, err := rs.Encode(data)
+		if len(data) == 0 {
+			if err == nil {
+				t.Fatal("encode accepted empty data")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if len(frags) != tot {
+			t.Fatalf("encode produced %d fragments, want %d", len(frags), tot)
+		}
+		sub := pick(frags, mask)
+		got, err := rs.Decode(sub, len(data))
+		if len(sub) >= n {
+			if err != nil {
+				t.Fatalf("n=%d f=%d: %d fragments failed to decode: %v", n, tot, len(sub), err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("n=%d f=%d: reconstruction differs from original", n, tot)
+			}
+		} else if err == nil {
+			t.Fatalf("n=%d f=%d: %d fragments (< n) decoded without error", n, tot, len(sub))
+		}
+	})
+}
+
+// FuzzRSDecodeArbitrary feeds the decoder adversarial fragment soup —
+// wild indices, wrong lengths, duplicates — carved from raw fuzz bytes.
+// The decoder may error or succeed-with-garbage (fragment integrity is
+// the merkle layer's job), but it must never panic and a nil error must
+// mean a result of exactly the requested length.
+func FuzzRSDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{0, 4, 1, 2, 3, 4, 9, 2, 5, 6}, uint16(40), uint16(0x23))
+	f.Add([]byte{}, uint16(0), uint16(0x01))
+	f.Add([]byte{0xff, 0xff, 0xff}, uint16(9999), uint16(0x55))
+	f.Fuzz(func(t *testing.T, raw []byte, dataLen uint16, geom uint16) {
+		n, tot := geometry(geom)
+		rs, err := NewReedSolomon(n, tot)
+		if err != nil {
+			t.Fatalf("geometry(%#x) produced invalid code: %v", geom, err)
+		}
+		dl := int(dataLen) % 4096
+		// Carve raw into fragments: [index byte][len byte][len data bytes].
+		var frags []Fragment
+		for len(raw) >= 2 {
+			idx, l := int(int8(raw[0])), int(raw[1])
+			raw = raw[2:]
+			if l > len(raw) {
+				l = len(raw)
+			}
+			frags = append(frags, Fragment{Index: idx, Data: raw[:l]})
+			raw = raw[l:]
+		}
+		out, err := rs.Decode(frags, dl)
+		if err == nil && len(out) != dl {
+			t.Fatalf("decode returned %d bytes, want %d", len(out), dl)
+		}
+	})
+}
+
+// FuzzTornadoRoundTrip checks the peeling code: decoding any subset
+// either reproduces the original exactly or fails with an error —
+// wrong data is never returned — and the full fragment set always
+// reconstructs.
+func FuzzTornadoRoundTrip(f *testing.F) {
+	f.Add([]byte("tornado codes trade optimality for speed"), uint16(0x34), uint64(0xfffffff), int64(7))
+	f.Add([]byte{1}, uint16(0x12), uint64(0x7), int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, geom uint16, mask uint64, seed int64) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		n, tot := geometry(geom)
+		tor, err := NewTornado(n, tot, seed)
+		if err != nil {
+			t.Fatalf("geometry(%#x) produced invalid code: %v", geom, err)
+		}
+		frags, err := tor.Encode(data)
+		if len(data) == 0 {
+			if err == nil {
+				t.Fatal("encode accepted empty data")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		// The complete set must always reconstruct (the data shards alone
+		// are a systematic copy).
+		got, err := tor.Decode(frags, len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("full fragment set failed: %v", err)
+		}
+		// An arbitrary subset: success implies byte-identical data, and
+		// fewer than n fragments can never succeed.
+		sub := pick(frags, mask)
+		got, err = tor.Decode(sub, len(data))
+		if err == nil {
+			if len(sub) < n {
+				t.Fatalf("n=%d: %d fragments (< n) decoded without error", n, len(sub))
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("subset decode returned wrong data")
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"time"
+
+	"oceanstore/internal/simnet"
+)
+
+// Engine is a Plan compiled onto a network.  It implements
+// simnet.FaultPlan for the link rules and has scheduled the plan's
+// churn and partition events on the network's kernel.
+type Engine struct {
+	net  *simnet.Network
+	plan Plan
+	// RuleDrops counts drops per link rule (parallel to plan.Links), a
+	// diagnostic for tests and experiments.
+	RuleDrops []int
+	// armed gates the link rules so Uninstall is effective even though
+	// scheduled kernel events cannot be revoked.
+	armed bool
+}
+
+// Install compiles plan onto net: churn and partition events are
+// scheduled at their virtual times and the link rules are installed as
+// the network's fault plan.  The engine draws all randomness from the
+// network's kernel, so the same (seed, plan) pair reproduces the same
+// faults.  Install replaces any previously installed plan's link
+// rules; scheduled events of earlier plans remain queued.
+func Install(net *simnet.Network, plan Plan) *Engine {
+	e := &Engine{net: net, plan: plan, RuleDrops: make([]int, len(plan.Links)), armed: true}
+	for _, c := range plan.Churn {
+		if c.Up {
+			net.RecoverAt(c.At, c.Node)
+		} else {
+			net.CrashAt(c.At, c.Node)
+		}
+	}
+	for _, pe := range plan.Partitions {
+		groups := pe.Groups
+		net.K.At(pe.At, func() {
+			if !e.armed {
+				return
+			}
+			if groups == nil {
+				net.ClearPartitions()
+				return
+			}
+			for nd, g := range groups {
+				net.SetPartition(nd, g)
+			}
+		})
+	}
+	net.SetFaultPlan(e)
+	return e
+}
+
+// Uninstall disarms the engine: link rules stop applying and pending
+// partition events become no-ops.  Churn events already queued on the
+// kernel still fire (a crash scheduled is a crash that happens), which
+// keeps the schedule's liveness story consistent.
+func (e *Engine) Uninstall() {
+	e.armed = false
+	e.net.SetFaultPlan(nil)
+}
+
+// FilterSend applies the plan's link rules to one message: the first
+// matching rule whose drop coin comes up kills the message; otherwise
+// delays and jitter from all matching rules accumulate.
+func (e *Engine) FilterSend(m simnet.Message, now time.Duration) (bool, time.Duration) {
+	if !e.armed {
+		return false, 0
+	}
+	var delay time.Duration
+	for i := range e.plan.Links {
+		r := &e.plan.Links[i]
+		if !r.matches(m, now) {
+			continue
+		}
+		if r.DropProb > 0 && e.net.K.Rand().Float64() < r.DropProb {
+			e.RuleDrops[i]++
+			return true, 0
+		}
+		delay += r.Delay
+		if r.Jitter > 0 {
+			delay += time.Duration(e.net.K.Rand().Int63n(int64(r.Jitter)))
+		}
+	}
+	return false, delay
+}

@@ -225,6 +225,45 @@ func (m *Mesh) nextHop(cur int, target guid.GUID, level int) int {
 	return -1
 }
 
+// HopCandidates returns the fallback-ordered candidate list for
+// resolving digit `level` of target from cur: slots in surrogate-scan
+// order, each slot's primary before its backups, skipping nodes the
+// mesh already knows are down.  The list is what the asynchronous
+// Router tries in order when hops time out — the first entry is
+// exactly nextHop's choice, and an entry equal to cur means the level
+// resolves in place.  At most cap candidates are returned (cap <= 0
+// means no limit).
+func (m *Mesh) HopCandidates(cur int, target guid.GUID, level int, cap int) []int {
+	x := m.nodes[cur]
+	want := int(target.Digit(level))
+	var out []int
+	add := func(c int) bool {
+		if c < 0 || m.nodes[c].Down {
+			return false
+		}
+		out = append(out, c)
+		return cap > 0 && len(out) >= cap
+	}
+	for k := 0; k < Base; k++ {
+		e := x.table[level][(want+k)%Base]
+		if add(e.primary) {
+			return out
+		}
+		if e.primary == cur && !m.nodes[cur].Down {
+			// Loopback: the level resolves in place; farther slots are
+			// only surrogate fallbacks for a dead cur, which cannot apply
+			// to the node doing the routing.
+			return out
+		}
+		for _, b := range e.backups {
+			if add(b) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
 // RouteToRoot routes from start to the surrogate root of g, returning
 // the path.  In a fully repaired mesh every start converges on the same
 // root for the same set of live nodes.

@@ -17,6 +17,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"oceanstore/internal/archive"
@@ -141,6 +142,11 @@ func NewRing(net *simnet.Network, primaryNodes []simnet.NodeID, v0 *object.Versi
 // Group exposes the Byzantine tier (fault injection in tests).
 func (r *Ring) Group() *byz.Group { return r.group }
 
+// PrimaryNodes returns the primary tier's node IDs (copy).
+func (r *Ring) PrimaryNodes() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), r.primaryNodes...)
+}
+
 // Tree exposes the dissemination tree.
 func (r *Ring) Tree() *dtree.Tree { return r.tree }
 
@@ -193,6 +199,9 @@ func (r *Ring) Secondaries() []*Secondary {
 	for _, s := range r.secondaries {
 		out = append(out, s)
 	}
+	// Deterministic order: callers pick replicas and send messages based
+	// on this slice.
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }
 
@@ -223,6 +232,9 @@ func (r *Ring) Submit(client simnet.NodeID, u *update.Update, spread int, onResu
 		for n := range r.secondaries {
 			nodes = append(nodes, n)
 		}
+		// Map order is random per process; the kernel RNG draw below must
+		// see a stable ordering or same-seed runs diverge.
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 		perm := r.net.K.Rand().Perm(len(nodes))
 		if spread > len(nodes) {
 			spread = len(nodes)
@@ -231,6 +243,14 @@ func (r *Ring) Submit(client simnet.NodeID, u *update.Update, spread int, onResu
 			r.net.Send(client, nodes[i], kindTentative, u, u.WireSize())
 		}
 	}
+}
+
+// Cancel abandons a client's outstanding submission of u: the byz
+// client stops retransmitting and any late quorum is dropped.  Used by
+// session-level update timeouts so a write the client gave up on cannot
+// keep generating traffic forever.
+func (r *Ring) Cancel(client simnet.NodeID, u *update.Update) {
+	r.group.Cancel(client, updateDigest(u))
 }
 
 // updateDigest names an update for agreement.
@@ -373,6 +393,9 @@ func (r *Ring) gossipRound() {
 	for _, s := range r.secondaries {
 		nodes = append(nodes, s)
 	}
+	// Stable order before drawing from the shared kernel RNG (map
+	// iteration order would otherwise leak into the simulation).
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
 	rng := r.net.K.Rand()
 	pairs := (len(nodes) + 1) / 2
 	for i := 0; i < pairs; i++ {

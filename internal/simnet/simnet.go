@@ -8,6 +8,14 @@
 // with a simulated network: nodes placed on a 2-D plane, per-message
 // latency = base + c·distance, per-message byte accounting, and
 // injectable faults (node crashes, message drops, partitions).
+//
+// Faults come in two layers.  Config carries the static link model
+// (DropProb, bandwidth); a pluggable FaultPlan (package fault) adds a
+// deterministic schedule of per-link drop/delay rules on top.  Crash
+// and recovery are first-class kernel events — Crash/Recover and their
+// scheduled variants — so that a down node sheds its partition state,
+// drops due to crashes are accounted separately from other losses, and
+// every liveness transition is observable by the protocol layers.
 package simnet
 
 import (
@@ -48,7 +56,9 @@ type Node struct {
 	// LowBandwidth marks leaf nodes where dissemination trees transform
 	// updates into invalidations (paper §4.4.3).
 	LowBandwidth bool
-	// Down marks a crashed node: it neither sends nor receives.
+	// Down marks a crashed node: it neither sends nor receives.  Prefer
+	// Network.Crash/Recover over writing the field directly — the
+	// methods also shed partition state and fire liveness callbacks.
 	Down bool
 
 	handlers []Handler
@@ -76,12 +86,55 @@ type Config struct {
 
 // Stats aggregates traffic counters.  ByKind maps the message Kind tag
 // to bytes sent, which lets an experiment isolate one protocol's cost.
+//
+// MessagesDropped is the total loss count and breaks down as
+// DroppedByCrash + DroppedByPartition + DroppedByFault + DroppedByLoss
+// + DroppedNoHandler.  Messages a crashed sender never put on the wire
+// count under DroppedByCrash (and the total) but not under
+// MessagesSent, so sent = delivered + dropped only holds in crash-free
+// runs.
 type Stats struct {
 	MessagesSent      int
 	MessagesDelivered int
 	MessagesDropped   int
-	BytesSent         int64
-	ByKind            map[string]int64
+	// Drop breakdown.
+	DroppedByCrash     int // sender or receiver was down
+	DroppedByPartition int
+	DroppedByFault     int // a FaultPlan verdict
+	DroppedByLoss      int // Config.DropProb random loss
+	DroppedNoHandler   int // delivered to a node with no handlers
+	// Crashes and Recoveries count liveness transitions.
+	Crashes    int
+	Recoveries int
+	// Retries counts protocol-level retransmissions (routing hop
+	// retries, fragment re-requests, agreement retransmits), reported by
+	// the layers through NoteRetry.
+	Retries       int
+	RetriesByKind map[string]int
+	BytesSent     int64
+	ByKind        map[string]int64
+}
+
+// FaultPlan is the pluggable fault-schedule hook (package fault
+// provides the standard implementation).  FilterSend is consulted once
+// per send, after crash and partition checks: returning drop kills the
+// message (accounted under DroppedByFault); extraDelay is added to the
+// modeled latency.  Implementations must draw any randomness from the
+// network's kernel so runs stay deterministic.
+type FaultPlan interface {
+	FilterSend(m Message, now time.Duration) (drop bool, extraDelay time.Duration)
+}
+
+// TraceEvent records one network-level event for determinism checks and
+// debugging.  Event is one of "send", "deliver", "drop-crash",
+// "drop-partition", "drop-fault", "drop-loss", "drop-nohandler",
+// "crash", "recover".
+type TraceEvent struct {
+	Time     time.Duration
+	From, To NodeID
+	Kind     string
+	Size     int
+	Event    string
 }
 
 // Network is the simulated fabric.  All sends and deliveries run on the
@@ -93,6 +146,9 @@ type Network struct {
 	stats Stats
 	// partition[i] groups nodes; messages between different groups drop.
 	partition map[NodeID]int
+	plan      FaultPlan
+	trace     func(TraceEvent)
+	liveness  []func(id NodeID, up bool)
 }
 
 // New creates an empty network over kernel k.
@@ -100,9 +156,13 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	return &Network{
 		K:         k,
 		cfg:       cfg,
-		stats:     Stats{ByKind: make(map[string]int64)},
+		stats:     newStats(),
 		partition: make(map[NodeID]int),
 	}
+}
+
+func newStats() Stats {
+	return Stats{ByKind: make(map[string]int64), RetriesByKind: make(map[string]int)}
 }
 
 // AddNode places a node at (x, y) and returns it.  The node's GUID is
@@ -141,6 +201,73 @@ func (n *Network) Len() int { return len(n.nodes) }
 // Nodes returns the underlying node slice (do not mutate its length).
 func (n *Network) Nodes() []*Node { return n.nodes }
 
+// SetFaultPlan installs (or, with nil, removes) the fault-schedule
+// hook.  At most one plan is active at a time.
+func (n *Network) SetFaultPlan(p FaultPlan) { n.plan = p }
+
+// SetTrace installs (or, with nil, removes) the event trace callback.
+func (n *Network) SetTrace(fn func(TraceEvent)) { n.trace = fn }
+
+// SetDropProb changes the ambient per-message loss probability.
+func (n *Network) SetDropProb(p float64) { n.cfg.DropProb = p }
+
+// OnLiveness registers a callback fired on every Crash/Recover
+// transition, so protocol layers can react to churn (mesh liveness
+// sync, tree re-homing) without polling.
+func (n *Network) OnLiveness(fn func(id NodeID, up bool)) {
+	n.liveness = append(n.liveness, fn)
+}
+
+func (n *Network) emit(ev string, m Message) {
+	if n.trace != nil {
+		n.trace(TraceEvent{Time: n.K.Now(), From: m.From, To: m.To, Kind: m.Kind, Size: m.Size, Event: ev})
+	}
+}
+
+// Crash takes a node down as a first-class event: it stops sending and
+// receiving, its partition membership is shed (a machine that is off
+// belongs to no partition group), and liveness callbacks fire.
+// Idempotent.
+func (n *Network) Crash(id NodeID) {
+	nd := n.nodes[id]
+	if nd.Down {
+		return
+	}
+	nd.Down = true
+	delete(n.partition, id)
+	n.stats.Crashes++
+	n.emit("crash", Message{From: id, To: id})
+	for _, fn := range n.liveness {
+		fn(id, false)
+	}
+}
+
+// Recover brings a crashed node back up.  It rejoins partition group 0
+// (the default); handlers installed before the crash remain in place.
+// Idempotent.
+func (n *Network) Recover(id NodeID) {
+	nd := n.nodes[id]
+	if !nd.Down {
+		return
+	}
+	nd.Down = false
+	n.stats.Recoveries++
+	n.emit("recover", Message{From: id, To: id})
+	for _, fn := range n.liveness {
+		fn(id, true)
+	}
+}
+
+// CrashAt schedules a crash at absolute virtual time t.
+func (n *Network) CrashAt(t time.Duration, id NodeID) {
+	n.K.At(t, func() { n.Crash(id) })
+}
+
+// RecoverAt schedules a recovery at absolute virtual time t.
+func (n *Network) RecoverAt(t time.Duration, id NodeID) {
+	n.K.At(t, func() { n.Recover(id) })
+}
+
 // Latency returns the modeled one-way latency between two nodes.
 func (n *Network) Latency(a, b NodeID) time.Duration {
 	na, nb := n.nodes[a], n.nodes[b]
@@ -155,52 +282,107 @@ func (n *Network) Distance(a, b NodeID) float64 {
 }
 
 // SetPartition places a node into a partition group.  Messages between
-// different groups are dropped until ClearPartitions.
-func (n *Network) SetPartition(id NodeID, group int) { n.partition[id] = group }
+// different groups are dropped until ClearPartitions.  Down nodes take
+// no partition state (they are not on the network at all); crash sheds
+// membership and recovery rejoins group 0.
+func (n *Network) SetPartition(id NodeID, group int) {
+	if n.nodes[id].Down {
+		return
+	}
+	n.partition[id] = group
+}
 
 // ClearPartitions heals all partitions.
 func (n *Network) ClearPartitions() { n.partition = make(map[NodeID]int) }
 
+// NoteRetry records one protocol-level retransmission under the given
+// message kind.  Retry layers (routing failover, fragment re-request,
+// agreement retransmit) call it so experiments can see how hard the
+// protocols worked to mask faults.
+func (n *Network) NoteRetry(kind string) {
+	n.stats.Retries++
+	n.stats.RetriesByKind[kind]++
+}
+
 // Send routes one message.  It accounts for the bytes regardless of
 // whether delivery succeeds (the sender still paid to transmit), then
 // schedules delivery after the modeled latency unless the message is
-// dropped by a crash, partition, or random loss.
+// dropped by a crash, partition, fault plan, or random loss.
 func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
 	if from < 0 || int(from) >= len(n.nodes) || to < 0 || int(to) >= len(n.nodes) {
 		panic(fmt.Sprintf("simnet: send %d->%d out of range", from, to))
 	}
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
 	src := n.nodes[from]
 	if src.Down {
-		return // a crashed node sends nothing and pays nothing
+		// A crashed node sends nothing and pays nothing, but the loss is
+		// visible in the crash-drop counter.
+		n.stats.MessagesDropped++
+		n.stats.DroppedByCrash++
+		n.emit("drop-crash", msg)
+		return
 	}
 	n.stats.MessagesSent++
 	n.stats.BytesSent += int64(size)
 	n.stats.ByKind[kind] += int64(size)
+	n.emit("send", msg)
 
 	if n.partition[from] != n.partition[to] {
 		n.stats.MessagesDropped++
+		n.stats.DroppedByPartition++
+		n.emit("drop-partition", msg)
 		return
+	}
+	var extra time.Duration
+	if n.plan != nil {
+		drop, delay := n.plan.FilterSend(msg, n.K.Now())
+		if drop {
+			n.stats.MessagesDropped++
+			n.stats.DroppedByFault++
+			n.emit("drop-fault", msg)
+			return
+		}
+		extra = delay
 	}
 	if n.cfg.DropProb > 0 && n.K.Rand().Float64() < n.cfg.DropProb {
 		n.stats.MessagesDropped++
+		n.stats.DroppedByLoss++
+		n.emit("drop-loss", msg)
 		return
 	}
-	lat := n.Latency(from, to)
+	lat := n.Latency(from, to) + extra
 	if n.cfg.Bandwidth > 0 {
 		lat += time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
 	}
-	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
-	n.K.After(lat, func() {
-		dst := n.nodes[to]
-		if dst.Down || len(dst.handlers) == 0 {
-			n.stats.MessagesDropped++
-			return
-		}
-		n.stats.MessagesDelivered++
-		for _, h := range dst.handlers {
-			h(msg)
-		}
-	})
+	n.K.After(lat, func() { n.Deliver(msg) })
+}
+
+// Deliver hands a message to the destination's handlers right now,
+// applying the crash check every delivery path must respect: a down
+// node receives nothing, even via direct delivery.  Returns whether the
+// handlers ran.  Send uses it internally; protocol layers that shortcut
+// the wire (local applies, test harnesses) should go through it rather
+// than invoking handlers themselves.
+func (n *Network) Deliver(m Message) bool {
+	dst := n.nodes[m.To]
+	if dst.Down {
+		n.stats.MessagesDropped++
+		n.stats.DroppedByCrash++
+		n.emit("drop-crash", m)
+		return false
+	}
+	if len(dst.handlers) == 0 {
+		n.stats.MessagesDropped++
+		n.stats.DroppedNoHandler++
+		n.emit("drop-nohandler", m)
+		return false
+	}
+	n.stats.MessagesDelivered++
+	n.emit("deliver", m)
+	for _, h := range dst.handlers {
+		h(m)
+	}
+	return true
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -210,11 +392,15 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.ByKind {
 		s.ByKind[k] = v
 	}
+	s.RetriesByKind = make(map[string]int, len(n.stats.RetriesByKind))
+	for k, v := range n.stats.RetriesByKind {
+		s.RetriesByKind[k] = v
+	}
 	return s
 }
 
 // ResetStats zeroes the traffic counters, so an experiment can measure
 // one protocol run in isolation.
 func (n *Network) ResetStats() {
-	n.stats = Stats{ByKind: make(map[string]int64)}
+	n.stats = newStats()
 }

@@ -178,7 +178,146 @@ func TestUnhandledDeliveryCountsAsDrop(t *testing.T) {
 	k, net := uniformNet(t, 2, time.Millisecond)
 	net.Send(0, 1, "x", nil, 1)
 	k.Run()
-	if s := net.Stats(); s.MessagesDropped != 1 {
+	if s := net.Stats(); s.MessagesDropped != 1 || s.DroppedNoHandler != 1 {
 		t.Fatalf("no-handler delivery should drop: %+v", s)
+	}
+}
+
+func TestCrashIsFirstClass(t *testing.T) {
+	k, net := uniformNet(t, 3, time.Millisecond)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+
+	var transitions []bool
+	net.OnLiveness(func(id NodeID, up bool) {
+		if id == 1 {
+			transitions = append(transitions, up)
+		}
+	})
+
+	// A crashed node sheds its partition state and takes no new state
+	// while down.
+	net.SetPartition(1, 5)
+	net.Crash(1)
+	net.SetPartition(1, 7) // ignored: the machine is off
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 0 {
+		t.Fatal("delivered to a crashed node")
+	}
+	s := net.Stats()
+	if s.DroppedByCrash != 1 || s.Crashes != 1 {
+		t.Fatalf("crash accounting: %+v", s)
+	}
+
+	// Recovery rejoins group 0: node 0 is also in group 0, so traffic
+	// flows despite the pre-crash group-5 assignment.
+	net.Recover(1)
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	if delivered != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+	if s := net.Stats(); s.Recoveries != 1 {
+		t.Fatalf("recovery accounting: %+v", s)
+	}
+	if len(transitions) != 2 || transitions[0] || !transitions[1] {
+		t.Fatalf("liveness transitions = %v, want [false true]", transitions)
+	}
+}
+
+func TestScheduledChurn(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+	net.CrashAt(10*time.Millisecond, 1)
+	net.RecoverAt(30*time.Millisecond, 1)
+	// One message lands in the down window, one after recovery.
+	k.At(15*time.Millisecond, func() { net.Send(0, 1, "x", nil, 1) })
+	k.At(35*time.Millisecond, func() { net.Send(0, 1, "x", nil, 1) })
+	k.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (crash window drops the first)", delivered)
+	}
+	s := net.Stats()
+	if s.DroppedByCrash != 1 || s.Crashes != 1 || s.Recoveries != 1 {
+		t.Fatalf("churn accounting: %+v", s)
+	}
+}
+
+func TestDirectDeliverRespectsCrash(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	delivered := 0
+	net.Node(1).Handle(func(Message) { delivered++ })
+	net.Crash(1)
+	if net.Deliver(Message{From: 0, To: 1, Kind: "x", Size: 1}) {
+		t.Fatal("direct delivery reached a crashed node")
+	}
+	net.Recover(1)
+	if !net.Deliver(Message{From: 0, To: 1, Kind: "x", Size: 1}) || delivered != 1 {
+		t.Fatal("direct delivery to a live node failed")
+	}
+	_ = k
+}
+
+func TestSenderCrashDropAccounting(t *testing.T) {
+	k, net := uniformNet(t, 2, time.Millisecond)
+	net.Node(1).Handle(func(Message) {})
+	net.Crash(0)
+	net.Send(0, 1, "x", nil, 1)
+	k.Run()
+	s := net.Stats()
+	if s.MessagesSent != 0 || s.BytesSent != 0 {
+		t.Fatalf("down sender accounted as sent: %+v", s)
+	}
+	if s.MessagesDropped != 1 || s.DroppedByCrash != 1 {
+		t.Fatalf("down sender loss not counted: %+v", s)
+	}
+}
+
+type testPlan struct {
+	drop  func(m Message) bool
+	delay time.Duration
+}
+
+func (p testPlan) FilterSend(m Message, _ time.Duration) (bool, time.Duration) {
+	return p.drop(m), p.delay
+}
+
+func TestFaultPlanHook(t *testing.T) {
+	k, net := uniformNet(t, 2, 10*time.Millisecond)
+	var at time.Duration
+	net.Node(1).Handle(func(Message) { at = k.Now() })
+	net.SetFaultPlan(testPlan{drop: func(m Message) bool { return m.Kind == "cut" }, delay: 5 * time.Millisecond})
+	net.Send(0, 1, "cut", nil, 1)
+	net.Send(0, 1, "ok", nil, 1)
+	k.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("plan delay not applied: delivered at %v", at)
+	}
+	s := net.Stats()
+	if s.DroppedByFault != 1 || s.MessagesDelivered != 1 {
+		t.Fatalf("plan drop accounting: %+v", s)
+	}
+	net.SetFaultPlan(nil)
+	net.Send(0, 1, "cut", nil, 1)
+	k.Run()
+	if s := net.Stats(); s.MessagesDelivered != 2 {
+		t.Fatal("removing the plan did not restore delivery")
+	}
+}
+
+func TestRetryCounters(t *testing.T) {
+	_, net := uniformNet(t, 1, 0)
+	net.NoteRetry("route")
+	net.NoteRetry("route")
+	net.NoteRetry("arch-req")
+	s := net.Stats()
+	if s.Retries != 3 || s.RetriesByKind["route"] != 2 || s.RetriesByKind["arch-req"] != 1 {
+		t.Fatalf("retry counters: %+v", s)
+	}
+	net.ResetStats()
+	if s := net.Stats(); s.Retries != 0 || len(s.RetriesByKind) != 0 {
+		t.Fatalf("reset failed: %+v", s)
 	}
 }

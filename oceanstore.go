@@ -40,10 +40,15 @@ import (
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/simnet"
+	"oceanstore/internal/update"
 )
 
 // GUID names every entity in the system (paper §4.1).
 type GUID = guid.GUID
+
+// UpdateID identifies one submitted update, as seen by session commit
+// and abort callbacks.
+type UpdateID = update.UpdateID
 
 // Config sizes a simulated deployment; see core.PoolConfig.
 type Config = core.PoolConfig
