@@ -1,9 +1,9 @@
 # Tier-1 gate: every change must keep `make check` green.
 GO ?= go
 
-.PHONY: check vet build test race fuzz-corpora bench
+.PHONY: check vet build test race fuzz-corpora bench bench-smoke bench-json
 
-check: vet build race fuzz-corpora
+check: vet build race fuzz-corpora bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,3 +25,16 @@ fuzz-corpora:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or panic, without paying measurement time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full benchmark pass rendered as JSON against the checked-in baseline.
+# Refresh after performance work: `make bench-json` then commit the
+# updated BENCH_PR2.json (and a new bench/BASELINE_*.txt if the baseline
+# itself should move forward).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR2.txt -o BENCH_PR2.json

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, pairing each benchmark's current numbers with a checked-in
+// baseline so performance regressions show up as a reviewable diff.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline bench/BASELINE_PR2.txt -o BENCH_PR2.json
+//
+// The parser understands the standard benchmark line shape — name,
+// iteration count, then (value, unit) pairs — and keeps whatever units
+// appear (ns/op, MB/s, B/op, allocs/op, custom ReportMetric units like
+// events/s).  Benchmarks present on only one side are still reported,
+// with the other side null.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps unit → value for one benchmark run, e.g. "ns/op" → 3512891.
+type metrics map[string]float64
+
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	Baseline    string  `json:"baseline_file,omitempty"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name     string  `json:"name"`
+	Pkg      string  `json:"pkg"`
+	Baseline metrics `json:"baseline,omitempty"`
+	Current  metrics `json:"current,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op: >1 is faster.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// parse reads `go test -bench` output, tracking the current package from
+// "pkg:" lines and collecting one metrics map per benchmark.  A repeated
+// benchmark name (-count > 1) keeps the last run.
+func parse(r io.Reader) (map[string]metrics, map[string]string, error) {
+	results := make(map[string]metrics)
+	pkgs := make(map[string]string)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the GOMAXPROCS suffix (BenchmarkFoo-8) so reports from
+		// differently sized machines key the same way.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := make(metrics)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		if len(m) == 0 {
+			continue
+		}
+		results[name] = m
+		pkgs[name] = pkg
+	}
+	return results, pkgs, sc.Err()
+}
+
+func parseFile(path string) (map[string]metrics, map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "prior `go test -bench` output to compare against")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	current, curPkgs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	var baseline map[string]metrics
+	var basePkgs map[string]string
+	if *baselinePath != "" {
+		baseline, basePkgs, err = parseFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	names := make(map[string]bool)
+	for n := range current {
+		names[n] = true
+	}
+	for n := range baseline {
+		names[n] = true
+	}
+	rep := report{GeneratedBy: "make bench-json", Baseline: *baselinePath}
+	for n := range names {
+		e := entry{Name: n, Pkg: curPkgs[n], Baseline: baseline[n], Current: current[n]}
+		if e.Pkg == "" {
+			e.Pkg = basePkgs[n]
+		}
+		if b, c := e.Baseline["ns/op"], e.Current["ns/op"]; b > 0 && c > 0 {
+			e.Speedup = float64(int(b/c*100+0.5)) / 100
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		if rep.Benchmarks[i].Pkg != rep.Benchmarks[j].Pkg {
+			return rep.Benchmarks[i].Pkg < rep.Benchmarks[j].Pkg
+		}
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

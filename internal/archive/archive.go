@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"oceanstore/internal/erasure"
@@ -12,6 +13,21 @@ import (
 	"oceanstore/internal/merkle"
 	"oceanstore/internal/simnet"
 )
+
+// framedPool recycles the length-prefixed staging buffer Encode builds
+// before erasure coding.  Commit-coupled archival encodes the same
+// object sizes over and over; the buffer never escapes Encode, so it is
+// the cheapest allocation to eliminate.
+var framedPool sync.Pool
+
+func getFramed(size int) []byte {
+	if p, ok := framedPool.Get().(*[]byte); ok && cap(*p) >= size {
+		return (*p)[:size]
+	}
+	return make([]byte, size)
+}
+
+func putFramed(b []byte) { framedPool.Put(&b) }
 
 // StoredFragment is one self-verifying archival fragment: the coded
 // data plus its sibling hash path to the archive root (§4.5).  The
@@ -47,12 +63,31 @@ type Config struct {
 	TornadoSeed int64
 }
 
-// Codec builds the erasure codec for this configuration.
+// codecCache memoises codecs per Config.  Construction is pure — RS
+// depends only on (n, f), Tornado on (n, f, seed) — and built codecs
+// are immutable and safe for concurrent use, so every archive with the
+// same geometry shares one codec.  Sharing is what makes the RS
+// decode-matrix cache effective across a repair storm: thousands of
+// Encode/Decode calls per experiment, a handful of distinct Configs.
+var codecCache sync.Map // Config -> erasure.Codec
+
+// Codec returns the (cached) erasure codec for this configuration.
 func (c Config) Codec() (erasure.Codec, error) {
-	if c.UseTornado {
-		return erasure.NewTornado(c.DataShards, c.TotalFragments, c.TornadoSeed)
+	if v, ok := codecCache.Load(c); ok {
+		return v.(erasure.Codec), nil
 	}
-	return erasure.NewReedSolomon(c.DataShards, c.TotalFragments)
+	var codec erasure.Codec
+	var err error
+	if c.UseTornado {
+		codec, err = erasure.NewTornado(c.DataShards, c.TotalFragments, c.TornadoSeed)
+	} else {
+		codec, err = erasure.NewReedSolomon(c.DataShards, c.TotalFragments)
+	}
+	if err != nil {
+		return nil, err
+	}
+	v, _ := codecCache.LoadOrStore(c, codec)
+	return v.(erasure.Codec), nil
 }
 
 // Encode erasure-codes data and wraps every fragment with its
@@ -64,7 +99,7 @@ func Encode(data []byte, cfg Config) (guid.GUID, []StoredFragment, error) {
 	if err != nil {
 		return guid.Zero, nil, err
 	}
-	framed := make([]byte, 8+len(data))
+	framed := getFramed(8 + len(data))
 	framed[0] = byte(len(data) >> 56)
 	framed[1] = byte(len(data) >> 48)
 	framed[2] = byte(len(data) >> 40)
@@ -76,6 +111,7 @@ func Encode(data []byte, cfg Config) (guid.GUID, []StoredFragment, error) {
 	copy(framed[8:], data)
 
 	frags, err := codec.Encode(framed)
+	putFramed(framed) // the codec copied it into shards; safe to recycle
 	if err != nil {
 		return guid.Zero, nil, err
 	}

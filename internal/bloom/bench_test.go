@@ -1,0 +1,45 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+
+	"oceanstore/internal/guid"
+)
+
+// BenchmarkBloomUnion measures the word-level OR of two 16 Kbit
+// filters — the inner loop of Locator.Rebuild, which unions one filter
+// per (edge, neighbour, layer) every propagation round.
+func BenchmarkBloomUnion(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	dst, src := NewFilter(16384, 4), NewFilter(16384, 4)
+	for i := 0; i < 256; i++ {
+		src.Add(guid.Random(r))
+	}
+	b.SetBytes(int64(src.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Union(src)
+	}
+}
+
+// BenchmarkLocatorRebuild measures full attenuated-filter propagation
+// on a 64-node degree-4 graph — the allocation-sensitive path: a naive
+// rebuild allocates fresh filters per edge per layer per round.
+func BenchmarkLocatorRebuild(b *testing.B) {
+	adj := make([][]int, 64)
+	for i := range adj {
+		adj[i] = []int{(i + 1) % 64, (i + 63) % 64, (i + 8) % 64, (i + 56) % 64}
+	}
+	r := rand.New(rand.NewSource(2))
+	loc := NewLocator(adj, 3, 8192, 4)
+	for i := 0; i < 100; i++ {
+		loc.Place(r.Intn(64), guid.Random(r))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc.Rebuild()
+	}
+}

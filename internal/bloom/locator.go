@@ -20,6 +20,11 @@ type Locator struct {
 	// that have abused the protocol are made to look farther away, so
 	// queries automatically route around certain classes of attacks.
 	penalty []map[int]int
+	// scratch[v] is a reusable per-node filter for Rebuild: layer i of
+	// edge u->v depends only on v, so one union per node per round
+	// serves every edge into v.  Allocated once, cleared word-wise each
+	// round — Rebuild itself allocates nothing.
+	scratch []*Filter
 }
 
 // NewLocator builds a locator over the adjacency list adj (node u's
@@ -34,12 +39,14 @@ func NewLocator(adj [][]int, depth, mBits, k int) *Locator {
 		localFilter: make([]*Filter, n),
 		edge:        make([]map[int]*Attenuated, n),
 		penalty:     make([]map[int]int, n),
+		scratch:     make([]*Filter, n),
 	}
 	for u := 0; u < n; u++ {
 		l.local[u] = make(map[guid.GUID]bool)
 		l.localFilter[u] = NewFilter(mBits, k)
 		l.edge[u] = make(map[int]*Attenuated, len(adj[u]))
 		l.penalty[u] = make(map[int]int)
+		l.scratch[u] = NewFilter(mBits, k)
 		for _, v := range adj[u] {
 			l.edge[u][v] = NewAttenuated(depth, mBits, k)
 		}
@@ -84,21 +91,24 @@ func (l *Locator) Rebuild() {
 		}
 	}
 	for i := 1; i < l.depth; i++ {
-		// Compute layer i from layer i-1 into a scratch map first so the
-		// update is simultaneous rather than order-dependent.
-		type key struct{ u, v int }
-		scratch := make(map[key]*Filter)
-		for u := range l.adj {
-			for _, v := range l.adj[u] {
-				f := NewFilter(l.mBits, l.k)
-				for _, w := range l.adj[v] {
-					f.Union(l.edge[v][w].Layer(i - 1))
-				}
-				scratch[key{u, v}] = f
+		// Layer i of edge u->v is the union over w in adj(v) of
+		// A[v->w].Layer(i-1) — a function of v alone.  Compute each
+		// node's union once into its preallocated scratch filter, then
+		// fan the result out to every edge; the scratch bank keeps the
+		// update simultaneous rather than order-dependent, and the
+		// whole round is word-level Clear/Union/CopyFrom with zero
+		// allocations.
+		for v := range l.adj {
+			f := l.scratch[v]
+			f.Clear()
+			for _, w := range l.adj[v] {
+				f.Union(l.edge[v][w].Layer(i - 1))
 			}
 		}
-		for kk, f := range scratch {
-			l.edge[kk.u][kk.v].Layer(i).CopyFrom(f)
+		for u := range l.adj {
+			for _, v := range l.adj[u] {
+				l.edge[u][v].Layer(i).CopyFrom(l.scratch[v])
+			}
 		}
 	}
 }
@@ -132,7 +142,7 @@ type QueryResult struct {
 // query fails — deferring to the global algorithm — when no filter
 // matches or after ttl hops chasing false positives.
 func (l *Locator) Query(start int, g guid.GUID, ttl int, rng *rand.Rand) QueryResult {
-	visited := make(map[int]bool)
+	visited := make([]bool, len(l.adj))
 	cur := start
 	res := QueryResult{Path: []int{start}}
 	for hop := 0; ; hop++ {

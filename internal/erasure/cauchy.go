@@ -38,5 +38,7 @@ func NewCauchyReedSolomon(n, f int) (*ReedSolomon, error) {
 			enc.set(n+i, j, gfInv(d))
 		}
 	}
-	return &ReedSolomon{n: n, f: f, enc: enc}, nil
+	rs := &ReedSolomon{n: n, f: f, enc: enc}
+	rs.inv.init(invCacheCap)
+	return rs, nil
 }

@@ -1,0 +1,161 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMulSliceMatchesReference cross-checks the table-driven kernel
+// against the original log/exp formulation over every coefficient and
+// every source byte value — the full 256×256 input space — plus a
+// sweep of lengths that exercises the unrolled body and the tail loop.
+func TestMulSliceMatchesReference(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{1, 7, 8, 9, 64, 255, 256} {
+			got := make([]byte, n)
+			want := make([]byte, n)
+			// Non-zero starting dst so the XOR-accumulate semantics are
+			// checked too, not just the product.
+			for i := 0; i < n; i++ {
+				got[i] = byte(i * 31)
+				want[i] = byte(i * 31)
+			}
+			mulSlice(got, src[:n], byte(c))
+			mulSliceRef(want, src[:n], byte(c))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("c=%d n=%d: table kernel diverges from log/exp reference", c, n)
+			}
+		}
+	}
+}
+
+// TestDecodeSystematicSubset checks the all-data-shards fast path:
+// when every fragment handed to Decode is a data shard, reconstruction
+// must be exact, regardless of arrival order, and must never touch the
+// inverted-matrix cache.
+func TestDecodeSystematicSubset(t *testing.T) {
+	rs, err := NewReedSolomon(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1000)
+	r := rand.New(rand.NewSource(42))
+	r.Read(data)
+	frags, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFrags := append([]Fragment(nil), frags[:8]...)
+	for trial := 0; trial < 5; trial++ {
+		r.Shuffle(len(dataFrags), func(i, j int) {
+			dataFrags[i], dataFrags[j] = dataFrags[j], dataFrags[i]
+		})
+		got, err := rs.Decode(dataFrags, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: systematic decode mismatch", trial)
+		}
+	}
+	if hits, misses := rs.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("systematic decode consulted the matrix cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestDecodeCacheHitsAndMisses pins the cache contract: the first
+// decode of a given fragment-index set inverts (one miss), repeats hit,
+// the same set in a different arrival order still hits (the key is
+// canonicalised), and a different set misses again.
+func TestDecodeCacheHitsAndMisses(t *testing.T) {
+	rs, err := NewReedSolomon(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 333)
+	rand.New(rand.NewSource(7)).Read(data)
+	frags, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(sel ...int) {
+		t.Helper()
+		sub := make([]Fragment, len(sel))
+		for i, idx := range sel {
+			sub[i] = frags[idx]
+		}
+		got, err := rs.Decode(sub, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("decode mismatch")
+		}
+	}
+	check := func(wantHits, wantMisses uint64) {
+		t.Helper()
+		hits, misses := rs.CacheStats()
+		if hits != wantHits || misses != wantMisses {
+			t.Fatalf("cache stats = (%d hits, %d misses), want (%d, %d)",
+				hits, misses, wantHits, wantMisses)
+		}
+	}
+
+	decode(0, 1, 2, 4) // lost shard 3: invert and cache
+	check(0, 1)
+	decode(0, 1, 2, 4) // same set again: hit
+	check(1, 1)
+	decode(4, 2, 1, 0) // same set, shuffled arrival: still a hit
+	check(2, 1)
+	decode(0, 1, 2, 5) // different parity row: new inversion
+	check(2, 2)
+	decode(0, 1, 2, 5)
+	check(3, 2)
+}
+
+// TestDecodeCacheEviction fills the LRU past capacity and confirms the
+// evicted entry misses while a recently used one still hits.
+func TestDecodeCacheEviction(t *testing.T) {
+	rs, err := NewReedSolomon(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("evict me")
+	frags, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(a, b int) {
+		t.Helper()
+		got, err := rs.Decode([]Fragment{frags[a], frags[b]}, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("decode mismatch")
+		}
+	}
+	// invCacheCap distinct non-systematic sets fill the cache; the
+	// (0, 2) set is the first in and becomes LRU once the rest follow.
+	for i := 0; i < invCacheCap; i++ {
+		decode(0, 2+i)
+	}
+	_, misses := rs.CacheStats()
+	if misses != uint64(invCacheCap) {
+		t.Fatalf("expected %d cold misses, got %d", invCacheCap, misses)
+	}
+	decode(0, 2+invCacheCap) // one past capacity: evicts (0, 2)
+	decode(0, 2+invCacheCap) // and is itself now cached
+	hitsBefore, missesBefore := rs.CacheStats()
+	decode(0, 2) // evicted: must re-invert
+	hits, misses := rs.CacheStats()
+	if hits != hitsBefore || misses != missesBefore+1 {
+		t.Fatalf("evicted set should miss: hits %d->%d misses %d->%d",
+			hitsBefore, hits, missesBefore, misses)
+	}
+}

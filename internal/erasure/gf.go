@@ -33,6 +33,7 @@ func init() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	initMulTable() // product tables derive from gfExp/gfLog (gf_tables.go)
 }
 
 // gfMul multiplies in GF(2^8).
@@ -68,9 +69,11 @@ func gfPow(a byte, k int) byte {
 	return gfExp[(int(gfLog[a])*k)%255]
 }
 
-// mulSlice computes dst[i] ^= c * src[i] — the inner loop of both the
-// encoder and the decoder.
-func mulSlice(dst, src []byte, c byte) {
+// mulSliceRef is the original log/exp formulation of
+// dst[i] ^= c * src[i], kept as the reference the table-driven kernel
+// in gf_tables.go is cross-checked against (it must agree for all
+// 256×256 coefficient/byte pairs).
+func mulSliceRef(dst, src []byte, c byte) {
 	if c == 0 {
 		return
 	}

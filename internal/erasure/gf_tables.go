@@ -1,0 +1,76 @@
+package erasure
+
+// Table-driven GF(2^8) kernels.
+//
+// The log/exp formulation of gfMul costs two table loads, an add and a
+// data-dependent branch per byte; on the encode/decode hot path that
+// branch is taken for essentially every byte of every shard, and the
+// profile shows mulSlice dominating archival encoding.  A full 256×256
+// product table (64 KiB, built once at init) turns the inner loop into
+// a single L1-resident lookup per byte: the 256-byte row for the active
+// coefficient stays hot across the whole shard.  The c==1 path — every
+// systematic data row and roughly 1/255 of coefficients — degenerates
+// to pure XOR and runs word-at-a-time instead.
+
+import "encoding/binary"
+
+// mulTable[c][s] = c·s in GF(2^8).  Row c is the kernel operand for
+// multiply-by-c; it is indexed by an untyped byte so the compiler emits
+// no bounds checks on the lookup.
+var mulTable [256][256]byte
+
+// initMulTable is called from gf.go's init, after gfExp/gfLog exist.
+func initMulTable() {
+	for a := 1; a < 256; a++ {
+		row := &mulTable[a]
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			row[b] = gfExp[la+int(gfLog[b])]
+		}
+	}
+}
+
+// xorSlice computes dst[i] ^= src[i] eight bytes at a time.  It is the
+// c==1 multiply, the Tornado check kernel, and the systematic row of
+// the RS encoder.
+func xorSlice(dst, src []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := dst[i : i+8]
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^binary.LittleEndian.Uint64(src[i:i+8]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulSlice computes dst[i] ^= c * src[i] — the inner loop of both the
+// encoder and the decoder.  The body is unrolled ×8: the three-address
+// slicing pins the bounds checks to one per block, and the byte-typed
+// index into the 256-entry row needs none at all.
+func mulSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	t := &mulTable[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= t[s[0]]
+		d[1] ^= t[s[1]]
+		d[2] ^= t[s[2]]
+		d[3] ^= t[s[3]]
+		d[4] ^= t[s[4]]
+		d[5] ^= t[s[5]]
+		d[6] ^= t[s[6]]
+		d[7] ^= t[s[7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= t[src[i]]
+	}
+}

@@ -119,9 +119,7 @@ func (t *Tornado) Encode(data []byte) ([]Fragment, error) {
 	for j, nb := range t.neighbours {
 		buf := make([]byte, l)
 		for _, s := range nb {
-			for b := range buf {
-				buf[b] ^= shards[s][b]
-			}
+			xorSlice(buf, shards[s])
 		}
 		out[t.n+j] = Fragment{Index: t.n + j, Data: buf}
 	}
@@ -158,9 +156,7 @@ func (t *Tornado) Decode(frags []Fragment, dataLen int) ([]byte, error) {
 		for _, c := range checks {
 			for s := range c.missing {
 				if known[s] != nil {
-					for b := range c.buf {
-						c.buf[b] ^= known[s][b]
-					}
+					xorSlice(c.buf, known[s])
 					delete(c.missing, s)
 					progress = true
 				}
@@ -268,9 +264,7 @@ func solveStalled(known [][]byte, checks []*check) bool {
 					rows[i].cols[c] = true
 				}
 			}
-			for b := range rows[i].buf {
-				rows[i].buf[b] ^= p.buf[b]
-			}
+			xorSlice(rows[i].buf, p.buf)
 		}
 		solvedCols++
 	}

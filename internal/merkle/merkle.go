@@ -13,28 +13,34 @@ package merkle
 
 import (
 	"crypto/sha1"
+	"hash"
 
 	"oceanstore/internal/guid"
 )
 
 // hashLeaf and hashPair are domain-separated so an inner node can never
-// be confused with a leaf (a classic second-preimage hardening).
-func hashLeaf(data []byte) guid.GUID {
-	h := sha1.New()
+// be confused with a leaf (a classic second-preimage hardening).  Both
+// reuse the caller's digest and sum directly into the GUID's backing
+// array, so tree construction allocates nothing per node — archival
+// encoding Merkle-wraps every fragment of every commit, which makes
+// these the second-hottest loop in the archive path after the GF
+// kernels.
+func hashLeaf(h hash.Hash, data []byte) guid.GUID {
+	h.Reset()
 	h.Write([]byte{0x00})
 	h.Write(data)
 	var g guid.GUID
-	copy(g[:], h.Sum(nil))
+	h.Sum(g[:0])
 	return g
 }
 
-func hashPair(l, r guid.GUID) guid.GUID {
-	h := sha1.New()
+func hashPair(h hash.Hash, l, r guid.GUID) guid.GUID {
+	h.Reset()
 	h.Write([]byte{0x01})
 	h.Write(l[:])
 	h.Write(r[:])
 	var g guid.GUID
-	copy(g[:], h.Sum(nil))
+	h.Sum(g[:0])
 	return g
 }
 
@@ -50,16 +56,17 @@ func Build(fragments [][]byte) *Tree {
 	if len(fragments) == 0 {
 		panic("merkle: no fragments")
 	}
+	h := sha1.New()
 	level := make([]guid.GUID, len(fragments))
 	for i, f := range fragments {
-		level[i] = hashLeaf(f)
+		level[i] = hashLeaf(h, f)
 	}
 	t := &Tree{levels: [][]guid.GUID{level}}
 	for len(level) > 1 {
 		next := make([]guid.GUID, 0, (len(level)+1)/2)
 		for i := 0; i < len(level); i += 2 {
 			if i+1 < len(level) {
-				next = append(next, hashPair(level[i], level[i+1]))
+				next = append(next, hashPair(h, level[i], level[i+1]))
 			} else {
 				next = append(next, level[i])
 			}
@@ -107,7 +114,8 @@ func Verify(data []byte, index, total int, proof []guid.GUID, root guid.GUID) bo
 	if index < 0 || index >= total || total < 1 {
 		return false
 	}
-	h := hashLeaf(data)
+	d := sha1.New()
+	h := hashLeaf(d, data)
 	idx, width, p := index, total, 0
 	for width > 1 {
 		sib := idx ^ 1
@@ -116,9 +124,9 @@ func Verify(data []byte, index, total int, proof []guid.GUID, root guid.GUID) bo
 				return false
 			}
 			if idx%2 == 0 {
-				h = hashPair(h, proof[p])
+				h = hashPair(d, h, proof[p])
 			} else {
-				h = hashPair(proof[p], h)
+				h = hashPair(d, proof[p], h)
 			}
 			p++
 		}

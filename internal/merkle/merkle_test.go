@@ -1,6 +1,7 @@
 package merkle
 
 import (
+	"crypto/sha1"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -156,7 +157,8 @@ func TestLeafInnerDomainSeparation(t *testing.T) {
 	// fragment must not equal the tree over [a, b].
 	a, b := []byte("aaa"), []byte("bbb")
 	two := Build([][]byte{a, b})
-	ha, hb := hashLeaf(a), hashLeaf(b)
+	h := sha1.New()
+	ha, hb := hashLeaf(h, a), hashLeaf(h, b)
 	fake := Build([][]byte{append(ha[:], hb[:]...)})
 	if two.Root() == fake.Root() {
 		t.Fatal("leaf/inner domain separation broken")

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Kernel micro-benchmarks.  The event queue is the innermost loop of
+// every experiment — at tens of thousands of simulated nodes the kernel
+// schedules and executes millions of events per run, so ns/op and
+// allocs/op here bound experiment scale directly.
+
+var sink int
+
+func nop() { sink++ }
+
+// BenchmarkKernelSchedule measures pure schedule+drain throughput:
+// b.N events pushed with scattered timestamps, then executed.  The
+// events/s metric is the headline kernel throughput number.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Scatter timestamps so the heap does real sifting work.
+		k.At(time.Duration(i%4096)*time.Microsecond, nop)
+	}
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkKernelChurn measures steady-state operation: a resident
+// queue of 8192 self-rescheduling events, the shape a large simulation
+// presents (every node holds timers while messages flow through).
+func BenchmarkKernelChurn(b *testing.B) {
+	const resident = 8192
+	k := NewKernel(1)
+	executed := 0
+	var tick func()
+	tick = func() {
+		executed++
+		if executed < b.N {
+			k.After(time.Duration(executed%977+1)*time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < resident && i < b.N; i++ {
+		k.After(time.Duration(i+1)*time.Microsecond, tick)
+	}
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// TestKernelMillionEvents is the scale smoke the benchmark numbers
+// extrapolate to: one million events must schedule and drain while
+// preserving full (time, seq) ordering.
+func TestKernelMillionEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 1 << 20
+	k := NewKernel(1)
+	var lastT time.Duration
+	var count int
+	for i := 0; i < n; i++ {
+		k.At(time.Duration(i%1021)*time.Millisecond, func() {
+			now := k.Now()
+			if now < lastT {
+				t.Fatalf("time went backwards: %v after %v", now, lastT)
+			}
+			lastT = now
+			count++
+		})
+	}
+	k.Run()
+	if count != n {
+		t.Fatalf("executed %d of %d events", count, n)
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+	"time"
+)
+
+// goldenKernelTrace pins the exact execution order of a pseudorandom
+// event schedule, hashed.  Recorded with the pre-rewrite
+// container/heap kernel; the 4-ary value heap must reproduce it
+// byte-for-byte — same times, same (time, seq) tie-breaks, same
+// interleaving of nested re-schedules.
+const goldenKernelTrace = "03199ffa61f95047afd7de9d335822217f79e374f3c820f91d632f486f038015"
+
+func TestGoldenKernelOrder(t *testing.T) {
+	k := NewKernel(99)
+	h := sha256.New()
+	var buf [16]byte
+	record := func(id int) {
+		binary.BigEndian.PutUint64(buf[:8], uint64(k.Now()))
+		binary.BigEndian.PutUint64(buf[8:], uint64(id))
+		h.Write(buf[:])
+	}
+	// A mix of scattered one-shots (with deliberate timestamp ties),
+	// nested re-schedules, and periodic timers — the shapes real
+	// protocol code produces.
+	for i := 0; i < 500; i++ {
+		i := i
+		k.At(time.Duration(k.Rand().Intn(64))*time.Millisecond, func() {
+			record(i)
+			if i%3 == 0 {
+				k.After(time.Duration(k.Rand().Intn(16))*time.Millisecond, func() {
+					record(1000 + i)
+				})
+			}
+		})
+	}
+	cancel := k.Every(7*time.Millisecond, func() { record(-1) })
+	k.RunUntil(60 * time.Millisecond)
+	cancel()
+	k.Run()
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != goldenKernelTrace {
+		t.Fatalf("kernel execution order changed:\n got  %s\n want %s", got, goldenKernelTrace)
+	}
+}

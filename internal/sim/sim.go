@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -43,7 +42,7 @@ func (k *Kernel) At(t time.Duration, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{time: t, seq: k.seq, fn: fn})
+	k.queue.push(event{time: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -69,7 +68,7 @@ func (k *Kernel) Every(d time.Duration, fn func()) (cancel func()) {
 // Run executes events until the queue is empty or Halt is called.
 func (k *Kernel) Run() {
 	k.halted = false
-	for len(k.queue) > 0 && !k.halted {
+	for k.queue.len() > 0 && !k.halted {
 		k.step()
 	}
 }
@@ -78,7 +77,7 @@ func (k *Kernel) Run() {
 // clock to t.  Events scheduled beyond t remain queued.
 func (k *Kernel) RunUntil(t time.Duration) {
 	k.halted = false
-	for len(k.queue) > 0 && !k.halted && k.queue[0].time <= t {
+	for k.queue.len() > 0 && !k.halted && k.queue.key[0].time <= t {
 		k.step()
 	}
 	if !k.halted && k.now < t {
@@ -94,10 +93,10 @@ func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 func (k *Kernel) Halt() { k.halted = true }
 
 // Pending reports how many events are queued.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.queue.len() }
 
 func (k *Kernel) step() {
-	ev := heap.Pop(&k.queue).(*event)
+	ev := k.queue.pop()
 	k.now = ev.time
 	ev.fn()
 }
@@ -108,22 +107,92 @@ type event struct {
 	fn   func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
+// eventKey is the kernel's total order: timestamp, ties broken by
+// insertion sequence.  seq is unique, so two distinct events never
+// compare equal and any correct heap pops them in exactly one order —
+// which is what keeps seeded traces byte-identical across queue
+// implementations.
+type eventKey struct {
+	time time.Duration
+	seq  uint64
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+func (k eventKey) less(o eventKey) bool {
+	if k.time != o.time {
+		return k.time < o.time
+	}
+	return k.seq < o.seq
+}
+
+// eventQueue is a hand-rolled 4-ary min-heap of event values.
+//
+// The previous implementation was a container/heap of *event: every At
+// boxed a freshly allocated event into an interface, and every pop went
+// through interface method dispatch.  This layout removes the per-event
+// allocation entirely — the slices' spare capacity acts as the free
+// list, recycling slots as events drain — and splits the comparison
+// keys from the closures so the sift-down's four-sibling scan reads one
+// contiguous 64-byte group of keys per level instead of dragging the
+// function pointers through the cache with it.  A 4-ary tree also
+// halves the depth a binary heap would walk.
+type eventQueue struct {
+	key []eventKey // 16 B each: four siblings per cache line
+	fn  []func()
+}
+
+func (q *eventQueue) len() int { return len(q.key) }
+
+func (q *eventQueue) push(e event) {
+	k := eventKey{e.time, e.seq}
+	q.key = append(q.key, k)
+	q.fn = append(q.fn, nil)
+	i := len(q.key) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !k.less(q.key[p]) {
+			break
+		}
+		q.key[i], q.fn[i] = q.key[p], q.fn[p]
+		i = p
+	}
+	q.key[i], q.fn[i] = k, e.fn
+}
+
+func (q *eventQueue) pop() event {
+	key, fn := q.key, q.fn
+	top := event{time: key[0].time, seq: key[0].seq, fn: fn[0]}
+	n := len(key) - 1
+	k, f := key[n], fn[n]
+	fn[n] = nil // drop the closure reference so the GC can reclaim it
+	q.key, q.fn = key[:n], fn[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the hole down: at each level pick the least of up to four
+	// siblings — one key cache line — and stop as soon as the displaced
+	// leaf fits.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if key[j].less(key[best]) {
+				best = j
+			}
+		}
+		if !key[best].less(k) {
+			break
+		}
+		key[i], fn[i] = key[best], fn[best]
+		i = best
+	}
+	key[i], fn[i] = k, f
+	return top
 }

@@ -127,6 +127,8 @@ func BenchmarkArchiveEncode(b *testing.B) {
 	rand.New(rand.NewSource(6)).Read(data)
 	cfg := archive.Config{DataShards: 16, TotalFragments: 32}
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := archive.Encode(data, cfg); err != nil {
 			b.Fatal(err)
