@@ -1,9 +1,15 @@
 # Tier-1 gate: every change must keep `make check` green.
 GO ?= go
 
-.PHONY: check vet build test race fuzz-corpora bench bench-smoke bench-json
+# Packages touched by the fork-join parallelism (PR 3): the -race pass
+# over these runs with GOMAXPROCS=4 so the pool actually forks even on
+# small CI machines.
+PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
+	./internal/merkle/ ./internal/bloom/ ./internal/fault/
 
-check: vet build race fuzz-corpora bench-smoke
+.PHONY: check vet build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate
+
+check: vet build race race-par fuzz-corpora bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +22,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-check the parallel kernels and sweep drivers with enough procs
+# that par.Do really runs concurrent workers.
+race-par:
+	GOMAXPROCS=4 $(GO) test -count=1 -race $(PAR_PKGS)
 
 # Replay the checked-in fuzz seed corpora (testdata/fuzz/...) without
 # fuzzing — regression mode.  `go test -fuzz=FuzzRS ./internal/erasure`
@@ -33,8 +44,16 @@ bench-smoke:
 
 # Full benchmark pass rendered as JSON against the checked-in baseline.
 # Refresh after performance work: `make bench-json` then commit the
-# updated BENCH_PR2.json (and a new bench/BASELINE_*.txt if the baseline
+# updated BENCH_PR3.json (and a new bench/BASELINE_*.txt if the baseline
 # itself should move forward).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... \
-		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR2.txt -o BENCH_PR2.json
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.txt -o BENCH_PR3.json
+
+# Regression gate: fail if any benchmark is more than GATE_PCT percent
+# slower than the checked-in baseline.  Single-run benchmarks are noisy;
+# the default threshold is deliberately loose.
+GATE_PCT ?= 30
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.txt -gate $(GATE_PCT) -o /dev/null

@@ -11,6 +11,12 @@
 // appear (ns/op, MB/s, B/op, allocs/op, custom ReportMetric units like
 // events/s).  Benchmarks present on only one side are still reported,
 // with the other side null.
+//
+// With -gate PCT the command becomes a regression gate: after writing
+// the report it exits non-zero if any benchmark's current ns/op is
+// more than PCT percent slower than its baseline, printing one line
+// per offender.  Benchmarks missing from either side never trip the
+// gate (new benchmarks and retired ones are not regressions).
 package main
 
 import (
@@ -89,6 +95,39 @@ func parse(r io.Reader) (map[string]metrics, map[string]string, error) {
 	return results, pkgs, sc.Err()
 }
 
+// regression describes one benchmark that tripped the gate.
+type regression struct {
+	name               string
+	baseNs, curNs, pct float64
+}
+
+// gate compares current against baseline ns/op and returns every
+// benchmark more than maxSlowdownPct percent slower, sorted worst
+// first.  Benchmarks absent from either side are skipped.
+func gate(baseline, current map[string]metrics, maxSlowdownPct float64) []regression {
+	var out []regression
+	for name, cur := range current {
+		base, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		b, c := base["ns/op"], cur["ns/op"]
+		if b <= 0 || c <= 0 {
+			continue
+		}
+		if pct := (c - b) / b * 100; pct > maxSlowdownPct {
+			out = append(out, regression{name: name, baseNs: b, curNs: c, pct: pct})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pct != out[j].pct {
+			return out[i].pct > out[j].pct
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
 func parseFile(path string) (map[string]metrics, map[string]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -101,6 +140,7 @@ func parseFile(path string) (map[string]metrics, map[string]string, error) {
 func main() {
 	baselinePath := flag.String("baseline", "", "prior `go test -bench` output to compare against")
 	out := flag.String("o", "", "output file (default stdout)")
+	gatePct := flag.Float64("gate", -1, "exit non-zero if any benchmark is more than `pct` percent slower than baseline")
 	flag.Parse()
 
 	current, curPkgs, err := parse(os.Stdin)
@@ -151,10 +191,30 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *gatePct >= 0 {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(1)
+		}
+		regs := gate(baseline, current, *gatePct)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) more than %.0f%% slower than %s:\n",
+				len(regs), *gatePct, *baselinePath)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %-40s %12.0f -> %12.0f ns/op  (+%.1f%%)\n",
+					r.name, r.baseNs, r.curNs, r.pct)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed — no benchmark more than %.0f%% slower than %s\n",
+			*gatePct, *baselinePath)
 	}
 }

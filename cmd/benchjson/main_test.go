@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: oceanstore/internal/erasure
+BenchmarkRSEncode-8         	    1000	   1000000 ns/op	  67.11 MB/s	       0 B/op	       0 allocs/op
+BenchmarkRSDecode-8         	     500	   2000000 ns/op
+BenchmarkOnlyHere-8         	     100	    500000 ns/op
+PASS
+`
+
+const sampleCurrent = `pkg: oceanstore/internal/erasure
+BenchmarkRSEncode-4         	    1000	   1200000 ns/op
+BenchmarkRSDecode-4         	     500	   2020000 ns/op
+BenchmarkOnlyNow-4          	     100	    900000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	m, pkgs, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(m))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	enc, ok := m["RSEncode"]
+	if !ok {
+		t.Fatalf("RSEncode missing: %v", m)
+	}
+	if enc["ns/op"] != 1000000 {
+		t.Fatalf("RSEncode ns/op = %v", enc["ns/op"])
+	}
+	if enc["MB/s"] != 67.11 {
+		t.Fatalf("RSEncode MB/s = %v", enc["MB/s"])
+	}
+	if pkgs["RSEncode"] != "oceanstore/internal/erasure" {
+		t.Fatalf("pkg = %q", pkgs["RSEncode"])
+	}
+}
+
+func TestGate(t *testing.T) {
+	base, _, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := parse(strings.NewReader(sampleCurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// At 10%: RSEncode is +20% (trips); RSDecode is +1% (passes);
+	// OnlyHere/OnlyNow are one-sided (never trip).
+	regs := gate(base, cur, 10)
+	if len(regs) != 1 {
+		t.Fatalf("gate(10%%) = %v, want exactly RSEncode", regs)
+	}
+	if regs[0].name != "RSEncode" {
+		t.Fatalf("offender = %q", regs[0].name)
+	}
+	if regs[0].pct < 19.9 || regs[0].pct > 20.1 {
+		t.Fatalf("RSEncode slowdown = %.2f%%, want ~20%%", regs[0].pct)
+	}
+
+	// At 25% nothing trips.
+	if regs := gate(base, cur, 25); len(regs) != 0 {
+		t.Fatalf("gate(25%%) = %v, want empty", regs)
+	}
+
+	// At 0% both regressions trip, worst first.
+	regs = gate(base, cur, 0)
+	if len(regs) != 2 || regs[0].name != "RSEncode" || regs[1].name != "RSDecode" {
+		t.Fatalf("gate(0%%) = %v, want [RSEncode RSDecode]", regs)
+	}
+}

@@ -2,10 +2,12 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"oceanstore/internal/byz"
 	"oceanstore/internal/guid"
+	"oceanstore/internal/par"
 	"oceanstore/internal/sim"
 	"oceanstore/internal/simnet"
 )
@@ -60,35 +62,45 @@ func analyticCost(n, u int) float64 {
 // runFig6 prints the Figure 6 series: normalized cost (bytes / (u·n))
 // for the paper's three tiers, both from the analytic model and as
 // measured from the simulated protocol.
-func runFig6(seed int64) {
+func runFig6(w io.Writer, seed int64) {
 	sizes := []int{100, 400, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 100 << 10, 256 << 10, 1 << 20, 10 << 20}
 	tiers := [][2]int{{2, 7}, {3, 10}, {4, 13}}
-	fmt.Printf("%-10s", "u(bytes)")
+	// Every (size, tier) cell is an independent simulation with its own
+	// kernel; measure the whole grid on the fork-join pool and print in
+	// grid order afterwards, so the table is identical at any core count.
+	measured := par.Map(len(sizes)*len(tiers), 1, func(i int) int64 {
+		u, t := sizes[i/len(tiers)], tiers[i%len(tiers)]
+		return measureCost(t[0], t[1], u, seed)
+	})
+	fmt.Fprintf(w, "%-10s", "u(bytes)")
 	for _, t := range tiers {
-		fmt.Printf(" | m=%d,n=%-2d analytic measured", t[0], t[1])
+		fmt.Fprintf(w, " | m=%d,n=%-2d analytic measured", t[0], t[1])
 	}
-	fmt.Println()
-	for _, u := range sizes {
-		fmt.Printf("%-10d", u)
-		for _, t := range tiers {
-			m, n := t[0], t[1]
+	fmt.Fprintln(w)
+	for i, u := range sizes {
+		fmt.Fprintf(w, "%-10d", u)
+		for j, t := range tiers {
+			n := t[1]
 			an := analyticCost(n, u) / float64(u*n)
-			me := float64(measureCost(m, n, u, seed)) / float64(u*n)
-			fmt.Printf(" |       %8.3f %8.3f", an, me)
+			me := float64(measured[i*len(tiers)+j]) / float64(u*n)
+			fmt.Fprintf(w, " |       %8.3f %8.3f", an, me)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("\npaper check (m=4, n=13): normalized cost ~2 near 4kB, approaching 1 by ~100kB+")
-	for _, u := range []int{4 << 10, 100 << 10} {
-		me := float64(measureCost(4, 13, u, seed)) / float64(u*13)
-		fmt.Printf("  u=%-8d measured normalized cost = %.3f\n", u, me)
+	fmt.Fprintln(w, "\npaper check (m=4, n=13): normalized cost ~2 near 4kB, approaching 1 by ~100kB+")
+	checks := []int{4 << 10, 100 << 10}
+	checked := par.Map(len(checks), 1, func(i int) int64 {
+		return measureCost(4, 13, checks[i], seed)
+	})
+	for i, u := range checks {
+		fmt.Fprintf(w, "  u=%-8d measured normalized cost = %.3f\n", u, float64(checked[i])/float64(u*13))
 	}
 }
 
 // runLatency prints E2: commit latency for the paper's tiers under
 // uniform 100 ms message latency; the paper estimates <1 s.
-func runLatency(seed int64) {
-	fmt.Printf("%-10s %-8s %-12s %s\n", "tier", "faults", "latency", "under 1s?")
+func runLatency(w io.Writer, seed int64) {
+	fmt.Fprintf(w, "%-10s %-8s %-12s %s\n", "tier", "faults", "latency", "under 1s?")
 	for _, t := range [][2]int{{2, 7}, {3, 10}, {4, 13}} {
 		m, n := t[0], t[1]
 		k, _, g, client := tier(n, m, seed)
@@ -96,7 +108,7 @@ func runLatency(seed int64) {
 		g.Submit(client, byz.Request{ID: guid.FromData([]byte("lat")), Payload: "u", Size: 4096},
 			func(r byz.Result) { lat = r.Latency })
 		k.RunFor(20 * time.Second)
-		fmt.Printf("n=%-8d %-8d %-12v %v\n", n, m, lat, lat < time.Second)
+		fmt.Fprintf(w, "n=%-8d %-8d %-12v %v\n", n, m, lat, lat < time.Second)
 	}
-	fmt.Println("\npaper: \"six phases of messages ... approximate latency per update of less than a second\"")
+	fmt.Fprintln(w, "\npaper: \"six phases of messages ... approximate latency per update of less than a second\"")
 }

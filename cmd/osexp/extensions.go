@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"oceanstore/internal/archive"
@@ -17,8 +18,8 @@ import (
 // runTwoTier shows §4.3's combined mechanism on a live pool: the
 // fraction of queries the fast probabilistic tier satisfies as filter
 // depth grows, and the global mesh catching everything else.
-func runTwoTier(seed int64) {
-	fmt.Printf("%-6s %-14s %-14s %-14s\n", "depth", "probabilistic", "global", "state/node")
+func runTwoTier(w io.Writer, seed int64) {
+	fmt.Fprintf(w, "%-6s %-14s %-14s %-14s\n", "depth", "probabilistic", "global", "state/node")
 	for _, depth := range []int{1, 2, 3, 4} {
 		cfg := core.DefaultPoolConfig()
 		cfg.Nodes = 64
@@ -51,16 +52,16 @@ func runTwoTier(seed int64) {
 				glob++
 			}
 		}
-		fmt.Printf("%-6d %3d/300 %8s %3d/300 %8s %6d B\n", depth, prob, "", glob, "", tt.ProbabilisticStateBytes(5))
+		fmt.Fprintf(w, "%-6d %3d/300 %8s %3d/300 %8s %6d B\n", depth, prob, "", glob, "", tt.ProbabilisticStateBytes(5))
 	}
-	fmt.Println("\npaper (§4.3): a fast probabilistic algorithm finds nearby objects; misses fall")
-	fmt.Println("through to the slower, deterministic global algorithm")
+	fmt.Fprintln(w, "\npaper (§4.3): a fast probabilistic algorithm finds nearby objects; misses fall")
+	fmt.Fprintln(w, "through to the slower, deterministic global algorithm")
 }
 
 // runFanout is the dissemination-tree ablation: fanout trades tree
 // depth (delivery latency at the leaves) against per-node send load.
-func runFanout(seed int64) {
-	fmt.Printf("%-8s %-10s %-16s %-14s\n", "fanout", "max depth", "full-tree time", "root sends")
+func runFanout(w io.Writer, seed int64) {
+	fmt.Fprintf(w, "%-8s %-10s %-16s %-14s\n", "fanout", "max depth", "full-tree time", "root sends")
 	for _, fanout := range []int{2, 4, 8, 16} {
 		k := sim.NewKernel(seed)
 		net := simnet.New(k, simnet.Config{BaseLatency: 20 * time.Millisecond, LatencyPerUnit: time.Millisecond})
@@ -93,19 +94,19 @@ func runFanout(seed int64) {
 				rootSends++
 			}
 		}
-		fmt.Printf("%-8d %-10d %-16v %-14d\n", fanout, maxDepth, last, rootSends)
+		fmt.Fprintf(w, "%-8d %-10d %-16v %-14d\n", fanout, maxDepth, last, rootSends)
 		if reached != 200 {
 			panic("incomplete dissemination")
 		}
 	}
-	fmt.Println("\nablation: higher fanout flattens the tree (faster leaves) but concentrates")
-	fmt.Println("send load at inner nodes — the tradeoff dissemination trees balance (§4.4.3)")
+	fmt.Fprintln(w, "\nablation: higher fanout flattens the tree (faster leaves) but concentrates")
+	fmt.Fprintln(w, "send load at inner nodes — the tradeoff dissemination trees balance (§4.4.3)")
 }
 
 // runSoak drives a Zipf read/write mix over a maintained pool with
 // background churn — the closest thing to the paper's envisioned
 // steady-state operation.
-func runSoak(seed int64) {
+func runSoak(w io.Writer, seed int64) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 48
 	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
@@ -162,18 +163,18 @@ func runSoak(seed int64) {
 		}
 	}
 	p.Run(5 * time.Minute) // drain
-	fmt.Printf("soak complete: %d reads (%d errors), %d writes over %v virtual time\n",
+	fmt.Fprintf(w, "soak complete: %d reads (%d errors), %d writes over %v virtual time\n",
 		reads, readErrs, writes, cursor)
 	st := p.Net.Stats()
-	fmt.Printf("traffic: %d msgs, %.1f MB; drops: %d\n",
+	fmt.Fprintf(w, "traffic: %d msgs, %.1f MB; drops: %d\n",
 		st.MessagesSent, float64(st.BytesSent)/1e6, st.MessagesDropped)
 	committed := 0
 	for _, obj := range objs {
 		ring, _ := p.Ring(obj)
 		committed += len(ring.PrimaryState().Log.Commits())
 	}
-	fmt.Printf("committed updates across objects: %d/%d\n", committed, writes)
+	fmt.Fprintf(w, "committed updates across objects: %d/%d\n", committed, writes)
 	if readErrs > 0 {
-		fmt.Println("WARNING: read errors under churn")
+		fmt.Fprintln(w, "WARNING: read errors under churn")
 	}
 }

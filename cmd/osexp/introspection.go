@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -15,12 +16,12 @@ import (
 
 // runPrefetch prints E7: prefetcher hit rate vs noise fraction for
 // model orders 0..3, on traces with embedded order-2 correlations.
-func runPrefetch(seed int64) {
-	fmt.Println("trace: repeating order-2 patterns (A,B -> C; X,B -> D) mixed with uniform noise")
-	fmt.Println("metric: top-1 prediction hit rate (400-access traces, 40-access warmup)")
-	fmt.Println()
+func runPrefetch(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "trace: repeating order-2 patterns (A,B -> C; X,B -> D) mixed with uniform noise")
+	fmt.Fprintln(w, "metric: top-1 prediction hit rate (400-access traces, 40-access warmup)")
+	fmt.Fprintln(w)
 	A, B, C, D, X := gg(1), gg(2), gg(3), gg(4), gg(5)
-	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "noise", "order-0", "order-1", "order-2", "order-3")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-10s\n", "noise", "order-0", "order-1", "order-2", "order-3")
 	for _, noise := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
 		r := rand.New(rand.NewSource(seed))
 		var trace []guid.GUID
@@ -35,22 +36,22 @@ func runPrefetch(seed int64) {
 				trace = append(trace, X, B, D)
 			}
 		}
-		fmt.Printf("%-8.1f", noise)
+		fmt.Fprintf(w, "%-8.1f", noise)
 		for order := 0; order <= 3; order++ {
 			rate := introspect.HitRate(introspect.NewPrefetcher(order), trace, 1, 40)
-			fmt.Printf(" %-10.3f", rate)
+			fmt.Fprintf(w, " %-10.3f", rate)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("\npaper (§5): \"the method correctly captured high-order correlations, even in the")
-	fmt.Println("presence of noise\" — order>=2 models dominate order-0/1 and degrade gracefully")
+	fmt.Fprintln(w, "\npaper (§5): \"the method correctly captured high-order correlations, even in the")
+	fmt.Fprintln(w, "presence of noise\" — order>=2 models dominate order-0/1 and degrade gracefully")
 }
 
 func gg(b byte) guid.GUID { return guid.FromData([]byte{b}) }
 
 // runReplicaMgmt prints E10: a hot object gains floating replicas near
 // its clients, dropping read latency; when load fades, replicas retire.
-func runReplicaMgmt(seed int64) {
+func runReplicaMgmt(w io.Writer, seed int64) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 48
 	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
@@ -85,7 +86,7 @@ func runReplicaMgmt(seed int64) {
 	}
 
 	mgr := introspect.ManagerConfig{SpawnAbove: 50, RetireBelow: 5, MinReplicas: 0, MaxReplicas: 8}
-	fmt.Printf("%-8s %-10s %-10s %-16s\n", "round", "load", "replicas", "mean read lat")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-16s\n", "round", "load", "replicas", "mean read lat")
 	nextNode := 4
 	for round := 0; round < 8; round++ {
 		load := 200.0 // hot phase
@@ -110,8 +111,8 @@ func runReplicaMgmt(seed int64) {
 			}
 		}
 		p.Run(5 * time.Second)
-		fmt.Printf("%-8d %-10.0f %-10d %-16v\n", round, load, len(ring.Secondaries()), meanReadLatency())
+		fmt.Fprintf(w, "%-8d %-10.0f %-10d %-16v\n", round, load, len(ring.Secondaries()), meanReadLatency())
 	}
-	fmt.Println("\npaper (§4.7.2): overloaded replicas request assistance and parents create")
-	fmt.Println("additional floating replicas nearby; disused replicas are eliminated")
+	fmt.Fprintln(w, "\npaper (§4.7.2): overloaded replicas request assistance and parents create")
+	fmt.Fprintln(w, "additional floating replicas nearby; disused replicas are eliminated")
 }

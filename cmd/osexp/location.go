@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -27,12 +28,12 @@ func torus(side int) [][]int {
 // runBloom prints E4: the probabilistic tier's success rate within the
 // filter horizon, its hop stretch vs optimal, and per-node state, for
 // several filter depths.
-func runBloom(seed int64) {
+func runBloom(w io.Writer, seed int64) {
 	const side = 16 // 256-node torus
 	const objects = 120
 	const queries = 400
-	fmt.Printf("topology: %dx%d torus (%d nodes), %d objects, %d queries\n\n", side, side, side*side, objects, queries)
-	fmt.Printf("%-6s %-16s %-12s %-12s %-14s\n", "depth", "within-horizon", "success", "stretch", "state/node")
+	fmt.Fprintf(w, "topology: %dx%d torus (%d nodes), %d objects, %d queries\n\n", side, side, side*side, objects, queries)
+	fmt.Fprintf(w, "%-6s %-16s %-12s %-12s %-14s\n", "depth", "within-horizon", "success", "stretch", "state/node")
 	for _, depth := range []int{2, 3, 4, 5} {
 		r := rand.New(rand.NewSource(seed))
 		adj := torus(side)
@@ -64,16 +65,16 @@ func runBloom(seed int64) {
 		if opt > 0 {
 			stretch = float64(hops) / float64(opt)
 		}
-		fmt.Printf("%-6d %-16d %3d/%-8d %-12.3f %6d B\n", depth, within, found, within, stretch, loc.StateBytes(0))
+		fmt.Fprintf(w, "%-6d %-16d %3d/%-8d %-12.3f %6d B\n", depth, within, found, within, stretch, loc.StateBytes(0))
 	}
-	fmt.Println("\npaper (§5): \"our algorithm finds nearby objects with near-optimal efficiency\"")
+	fmt.Fprintln(w, "\npaper (§5): \"our algorithm finds nearby objects with near-optimal efficiency\"")
 }
 
 // runPlaxton prints E5: routing hop scaling, locate locality, and the
 // effect of salted multi-roots on availability after root failure.
-func runPlaxton(seed int64) {
-	fmt.Println("-- routing hops vs network size (paper: O(log n) resolution) --")
-	fmt.Printf("%-8s %-10s %-12s %-10s\n", "nodes", "avg hops", "max hops", "log16(n)")
+func runPlaxton(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "-- routing hops vs network size (paper: O(log n) resolution) --")
+	fmt.Fprintf(w, "%-8s %-10s %-12s %-10s\n", "nodes", "avg hops", "max hops", "log16(n)")
 	for _, n := range []int{16, 64, 256, 1024, 4096} {
 		r := rand.New(rand.NewSource(seed))
 		mesh, dist := randomMesh(n, r)
@@ -90,10 +91,10 @@ func runPlaxton(seed int64) {
 				maxh = res.Hops()
 			}
 		}
-		fmt.Printf("%-8d %-10.2f %-12d %-10.2f\n", n, float64(tot)/trials, maxh, math.Log(float64(n))/math.Log(16))
+		fmt.Fprintf(w, "%-8d %-10.2f %-12d %-10.2f\n", n, float64(tot)/trials, maxh, math.Log(float64(n))/math.Log(16))
 	}
 
-	fmt.Println("\n-- locate distance vs distance to the closest replica (locality) --")
+	fmt.Fprintln(w, "\n-- locate distance vs distance to the closest replica (locality) --")
 	{
 		r := rand.New(rand.NewSource(seed))
 		mesh, dist := randomMesh(512, r)
@@ -123,13 +124,13 @@ func runPlaxton(seed int64) {
 			optSum += best
 			randSum += dist(start, holders[r.Intn(len(holders))])
 		}
-		fmt.Printf("mean distance to located replica: %8.2f\n", locSum/trials)
-		fmt.Printf("mean distance to closest replica: %8.2f\n", optSum/trials)
-		fmt.Printf("mean distance to random replica:  %8.2f\n", randSum/trials)
+		fmt.Fprintf(w, "mean distance to located replica: %8.2f\n", locSum/trials)
+		fmt.Fprintf(w, "mean distance to closest replica: %8.2f\n", optSum/trials)
+		fmt.Fprintf(w, "mean distance to random replica:  %8.2f\n", randSum/trials)
 	}
 
-	fmt.Println("\n-- salted multi-root fault tolerance (root path killed) --")
-	fmt.Printf("%-8s %-16s %-14s\n", "salts", "locate success", "publish hops")
+	fmt.Fprintln(w, "\n-- salted multi-root fault tolerance (root path killed) --")
+	fmt.Fprintf(w, "%-8s %-16s %-14s\n", "salts", "locate success", "publish hops")
 	for _, salts := range []uint32{1, 2, 4, 8} {
 		r := rand.New(rand.NewSource(seed))
 		mesh, _ := randomMesh(256, r)
@@ -157,10 +158,10 @@ func runPlaxton(seed int64) {
 				ok++
 			}
 		}
-		fmt.Printf("%-8d %3d/%-12d %-14d\n", salts, ok, total, hops)
+		fmt.Fprintf(w, "%-8d %3d/%-12d %-14d\n", salts, ok, total, hops)
 	}
-	fmt.Println("\npaper: salted GUIDs map to several roots, \"gaining redundancy and simultaneously")
-	fmt.Println("making it difficult to target a single node with a denial of service attack\"")
+	fmt.Fprintln(w, "\npaper: salted GUIDs map to several roots, \"gaining redundancy and simultaneously")
+	fmt.Fprintln(w, "making it difficult to target a single node with a denial of service attack\"")
 }
 
 // randomMesh builds an n-node mesh over random plane positions.

@@ -3,23 +3,35 @@
 //
 // Usage:
 //
-//	osexp <experiment> [seed]
+//	osexp [-seeds N] <experiment> [seed]
 //
 // where <experiment> is one of: fig6, latency, reliability, bloom,
 // plaxton, fragments, prefetch, ciphertext, byzfaults, replicamgmt,
 // updatepath, or "all".
+//
+// With -seeds N the experiment runs over seeds seed..seed+N-1, one
+// simulator per seed fanned out on the fork-join pool, and the
+// per-seed outputs are printed in seed order followed by an aggregate
+// row.  The output for each seed is byte-identical to a single-seed
+// run: every experiment writes to its own buffer, so parallelism
+// never interleaves or reorders lines.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+
+	"oceanstore/internal/par"
 )
 
 type experiment struct {
 	name string
 	desc string
-	run  func(seed int64)
+	run  func(w io.Writer, seed int64)
 }
 
 var experiments = []experiment{
@@ -39,33 +51,67 @@ var experiments = []experiment{
 	{"soak", "steady state — Zipf mix over a maintained pool with churn", runSoak},
 }
 
+// seedOutputs runs e over nSeeds consecutive seeds starting at base,
+// in parallel, each into its own buffer.  Results come back in seed
+// order regardless of how many workers ran them.
+func seedOutputs(e experiment, base int64, nSeeds int) [][]byte {
+	return par.Map(nSeeds, 1, func(i int) []byte {
+		var buf bytes.Buffer
+		e.run(&buf, base+int64(i))
+		return buf.Bytes()
+	})
+}
+
+// runOne executes one experiment, streaming directly for a single
+// seed, or fanning the seed sweep out and printing per-seed sections
+// plus an aggregate row.
+func runOne(e experiment, base int64, nSeeds int) {
+	fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+	if nSeeds <= 1 {
+		e.run(os.Stdout, base)
+		return
+	}
+	outs := seedOutputs(e, base, nSeeds)
+	distinct := make(map[string]bool)
+	for i, out := range outs {
+		fmt.Printf("---- seed %d ----\n", base+int64(i))
+		os.Stdout.Write(out)
+		distinct[string(out)] = true
+	}
+	fmt.Printf("-- aggregate: %s over %d seeds [%d..%d]: %d/%d distinct outputs --\n",
+		e.name, nSeeds, base, base+int64(nSeeds)-1, len(distinct), nSeeds)
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	fs := flag.NewFlagSet("osexp", flag.ExitOnError)
+	nSeeds := fs.Int("seeds", 1, "run the experiment over N consecutive seeds in parallel")
+	fs.Usage = usage
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	seed := int64(1)
-	if len(os.Args) > 2 {
-		s, err := strconv.ParseInt(os.Args[2], 10, 64)
+	if len(args) > 1 {
+		s, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", os.Args[2], err)
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", args[1], err)
 			os.Exit(2)
 		}
 		seed = s
 	}
-	name := os.Args[1]
+	name := args[0]
 	if name == "all" {
 		for _, e := range experiments {
-			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
-			e.run(seed)
+			runOne(e, seed, *nSeeds)
 			fmt.Println()
 		}
 		return
 	}
 	for _, e := range experiments {
 		if e.name == name {
-			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
-			e.run(seed)
+			runOne(e, seed, *nSeeds)
 			return
 		}
 	}
@@ -75,10 +121,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osexp <experiment> [seed]")
+	fmt.Fprintln(os.Stderr, "usage: osexp [-seeds N] <experiment> [seed]")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all          run everything")
+	fmt.Fprintln(os.Stderr, "flags:")
+	fmt.Fprintln(os.Stderr, "  -seeds N     run over seeds seed..seed+N-1 in parallel, with an aggregate row")
 }

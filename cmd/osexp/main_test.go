@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestSeedOutputsProcsInvariant: the -seeds fan-out must produce the
+// same per-seed bytes whether the sweep runs serially or on the pool.
+// Uses cheap experiments so the test stays fast; each run function
+// writes only to its own buffer, so outputs can never interleave.
+func TestSeedOutputsProcsInvariant(t *testing.T) {
+	for _, e := range experiments {
+		switch e.name {
+		case "migration", "prefetch", "latency":
+		default:
+			continue
+		}
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			run := func(procs int) [][]byte {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				return seedOutputs(e, 3, 4)
+			}
+			serial := run(1)
+			parallel := run(4)
+			for i := range serial {
+				if !bytes.Equal(serial[i], parallel[i]) {
+					t.Fatalf("seed %d: parallel output differs from serial", 3+i)
+				}
+				if len(serial[i]) == 0 {
+					t.Fatalf("seed %d: empty output", 3+i)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleSeedMatchesSweepMember: seed s run alone must equal the
+// s-th section of a multi-seed sweep — the sweep is a pure fan-out,
+// not a different experiment.
+func TestSingleSeedMatchesSweepMember(t *testing.T) {
+	var e experiment
+	for _, x := range experiments {
+		if x.name == "migration" {
+			e = x
+		}
+	}
+	alone := seedOutputs(e, 5, 1)
+	swept := seedOutputs(e, 4, 3)
+	if !bytes.Equal(alone[0], swept[1]) {
+		t.Fatal("seed 5 alone differs from seed 5 inside a [4..6] sweep")
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -27,7 +28,7 @@ func init() {
 // compare access latency when data sits statically at one site versus
 // when it migrates ahead of the predicted site, gated by the
 // detector's confidence estimate.
-func runMigration(seed int64) {
+func runMigration(w io.Writer, seed int64) {
 	const (
 		office, home = 0, 1
 		officeLat    = 5 * time.Millisecond  // local LAN when data is here
@@ -73,13 +74,13 @@ func runMigration(seed int64) {
 		migrateLat += latency(site, o.Site)
 	}
 	n := time.Duration(len(eval))
-	fmt.Printf("accesses: %d over one simulated day (office hours 9-17)\n\n", len(eval))
-	fmt.Printf("%-28s %-16s\n", "policy", "mean access lat")
-	fmt.Printf("%-28s %-16v\n", "static (pinned at office)", staticLat/n)
-	fmt.Printf("%-28s %-16v\n", "introspective migration", migrateLat/n)
-	fmt.Printf("\npredictions made with confidence >0.8: %d/%d (%d pointed home)\n",
+	fmt.Fprintf(w, "accesses: %d over one simulated day (office hours 9-17)\n\n", len(eval))
+	fmt.Fprintf(w, "%-28s %-16s\n", "policy", "mean access lat")
+	fmt.Fprintf(w, "%-28s %-16v\n", "static (pinned at office)", staticLat/n)
+	fmt.Fprintf(w, "%-28s %-16v\n", "introspective migration", migrateLat/n)
+	fmt.Fprintf(w, "\npredictions made with confidence >0.8: %d/%d (%d pointed home)\n",
 		confident, len(eval), migrated)
-	fmt.Println("paper (§4.7.2): \"users will find their project files and email folder on a")
-	fmt.Println("local machine during the work day, and waiting for them on their home")
-	fmt.Println("machines at night\"")
+	fmt.Fprintln(w, "paper (§4.7.2): \"users will find their project files and email folder on a")
+	fmt.Fprintln(w, "local machine during the work day, and waiting for them on their home")
+	fmt.Fprintln(w, "machines at night\"")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -18,18 +19,18 @@ import (
 // runCiphertext prints E8: the Figure 4 operations on ciphertext plus
 // the predicate set, with sizes, all without the server ever holding a
 // key.
-func runCiphertext(seed int64) {
+func runCiphertext(w io.Writer, seed int64) {
 	r := rand.New(rand.NewSource(seed))
 	key := crypt.NewBlockKey(r)
 	v := object.NewObject([]byte("AABBCC"), 2, key)
-	fmt.Printf("object: 3 blocks [AA BB CC], encrypted, %d bytes stored\n\n", v.BytesStored())
+	fmt.Fprintf(w, "object: 3 blocks [AA BB CC], encrypted, %d bytes stored\n\n", v.BytesStored())
 
 	show := func(label string, v *object.Version) {
 		got, err := object.NewView(v, key).Read()
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("%-28s logical=%-14q physical blocks=%d size=%d\n", label, got, len(v.Blocks), v.Size)
+		fmt.Fprintf(w, "%-28s logical=%-14q physical blocks=%d size=%d\n", label, got, len(v.Blocks), v.Size)
 	}
 	show("initial", v)
 
@@ -58,36 +59,36 @@ func runCiphertext(seed int64) {
 	rep, _ := ed.Replace(0, []byte("aa"))
 	apply("replace-block AA->aa", []object.Op{rep})
 
-	fmt.Println("\n-- server-side predicates (no key) --")
+	fmt.Fprintln(w, "\n-- server-side predicates (no key) --")
 	ed, _ = object.NewEditor(v, key)
 	blk, pos, _ := ed.ExpectedBlock(0, []byte("aa"))
 	p1 := update.Predicate{Kind: update.PredCompareBlock, Pos: pos, Digest: blk.Digest()}
-	fmt.Printf("compare-block(0, E(\"aa\"))   -> %v\n", p1.Eval(v))
+	fmt.Fprintf(w, "compare-block(0, E(\"aa\"))   -> %v\n", p1.Eval(v))
 	blk2, _, _ := ed.ExpectedBlock(0, []byte("ZZ"))
 	p2 := update.Predicate{Kind: update.PredCompareBlock, Pos: pos, Digest: blk2.Digest()}
-	fmt.Printf("compare-block(0, E(\"ZZ\"))   -> %v\n", p2.Eval(v))
+	fmt.Fprintf(w, "compare-block(0, E(\"ZZ\"))   -> %v\n", p2.Eval(v))
 	p3 := update.Predicate{Kind: update.PredCompareVersion, Cmp: update.CmpEQ, Version: v.Num}
-	fmt.Printf("compare-version(= %d)        -> %v\n", v.Num, p3.Eval(v))
+	fmt.Fprintf(w, "compare-version(= %d)        -> %v\n", v.Num, p3.Eval(v))
 	p4 := update.Predicate{Kind: update.PredCompareSize, Cmp: update.CmpEQ, Size: v.Size}
-	fmt.Printf("compare-size(= %d)           -> %v\n", v.Size, p4.Eval(v))
+	fmt.Fprintf(w, "compare-size(= %d)           -> %v\n", v.Size, p4.Eval(v))
 
 	sk := crypt.NewSearchKey(key)
 	v.Index = sk.BuildIndex([]string{"urgent", "invoice", "ocean"})
 	p5 := update.Predicate{Kind: update.PredSearch, Trapdoor: sk.Trapdoor("ocean"), WantMatch: true}
 	p6 := update.Predicate{Kind: update.PredSearch, Trapdoor: sk.Trapdoor("spam"), WantMatch: true}
-	fmt.Printf("search(trapdoor \"ocean\")     -> %v\n", p5.Eval(v))
-	fmt.Printf("search(trapdoor \"spam\")      -> %v\n", p6.Eval(v))
-	fmt.Printf("\nencrypted word index: %d bytes for 3 words; cells are opaque without a trapdoor\n",
+	fmt.Fprintf(w, "search(trapdoor \"ocean\")     -> %v\n", p5.Eval(v))
+	fmt.Fprintf(w, "search(trapdoor \"spam\")      -> %v\n", p6.Eval(v))
+	fmt.Fprintf(w, "\nencrypted word index: %d bytes for 3 words; cells are opaque without a trapdoor\n",
 		v.Index.SizeBytes())
-	fmt.Println("paper (Fig 4): \"The server learns nothing about the contents of any of the blocks.\"")
+	fmt.Fprintln(w, "paper (Fig 4): \"The server learns nothing about the contents of any of the blocks.\"")
 }
 
 // runByzFaults prints E9: agreement outcomes with increasing crash and
 // lying replica counts in an n=13, f=4 tier.
-func runByzFaults(seed int64) {
+func runByzFaults(w io.Writer, seed int64) {
 	const n, f = 13, 4
-	fmt.Printf("tier: n=%d replicas, f=%d tolerated (n = 3f+1)\n\n", n, f)
-	fmt.Printf("%-10s %-10s %-10s %-10s\n", "crashed", "lying", "committed", "latency")
+	fmt.Fprintf(w, "tier: n=%d replicas, f=%d tolerated (n = 3f+1)\n\n", n, f)
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", "crashed", "lying", "committed", "latency")
 	for _, tc := range []struct{ crash, lie int }{
 		{0, 0}, {2, 0}, {4, 0}, {0, 2}, {0, 4}, {2, 2}, {5, 0}, {0, 5},
 	} {
@@ -107,16 +108,16 @@ func runByzFaults(seed int64) {
 		if committed {
 			latStr = lat.String()
 		}
-		fmt.Printf("%-10d %-10d %-10v %-10s\n", tc.crash, tc.lie, committed, latStr)
+		fmt.Fprintf(w, "%-10d %-10d %-10v %-10s\n", tc.crash, tc.lie, committed, latStr)
 	}
-	fmt.Printf("\npaper: protocol assumes no more than m=%d of n=3m+1=%d replicas are faulty;\n", f, n)
-	fmt.Println("beyond the bound the tier loses liveness (but the client is never given a wrong result)")
+	fmt.Fprintf(w, "\npaper: protocol assumes no more than m=%d of n=3m+1=%d replicas are faulty;\n", f, n)
+	fmt.Fprintln(w, "beyond the bound the tier loses liveness (but the client is never given a wrong result)")
 }
 
 // runUpdatePath prints E11: the Figure 5 timeline of one update through
 // a pool with 100 secondaries, showing when tentative data appears and
 // when the commit reaches everyone.
-func runUpdatePath(seed int64) {
+func runUpdatePath(w io.Writer, seed int64) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 128
 	cfg.Ring.Archive = archive.Config{DataShards: 8, TotalFragments: 16}
@@ -143,8 +144,8 @@ func runUpdatePath(seed int64) {
 	}
 
 	id := update.UpdateID{Client: client.Signer.GUID(), Seq: 1}
-	fmt.Printf("pool: 128 nodes, 4 primaries, 100 secondaries, gossip every 500ms\n\n")
-	fmt.Printf("%-10s %-22s %-22s\n", "t(ms)", "secondaries tentative", "secondaries committed")
+	fmt.Fprintf(w, "pool: 128 nodes, 4 primaries, 100 secondaries, gossip every 500ms\n\n")
+	fmt.Fprintf(w, "%-10s %-22s %-22s\n", "t(ms)", "secondaries tentative", "secondaries committed")
 	for _, at := range []time.Duration{
 		50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
 		500 * time.Millisecond, time.Second, 2 * time.Second, 5 * time.Second, 15 * time.Second,
@@ -159,8 +160,8 @@ func runUpdatePath(seed int64) {
 				comm++
 			}
 		}
-		fmt.Printf("%-10d %3d/100 %18s %3d/100\n", at.Milliseconds(), tent, "", comm)
+		fmt.Fprintf(w, "%-10d %3d/100 %18s %3d/100\n", at.Milliseconds(), tent, "", comm)
 	}
-	fmt.Printf("\nclient observed commit after %v\n", commitAt)
-	fmt.Printf("archival snapshots generated at commit: %d (deep archival coupling, §4.4.4)\n", len(ring.ArchiveRoots))
+	fmt.Fprintf(w, "\nclient observed commit after %v\n", commitAt)
+	fmt.Fprintf(w, "archival snapshots generated at commit: %d (deep archival coupling, §4.4.4)\n", len(ring.ArchiveRoots))
 }

@@ -11,6 +11,7 @@ import (
 	"oceanstore/internal/erasure"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/merkle"
+	"oceanstore/internal/par"
 	"oceanstore/internal/simnet"
 )
 
@@ -122,15 +123,19 @@ func Encode(data []byte, cfg Config) (guid.GUID, []StoredFragment, error) {
 	tree := merkle.Build(leaves)
 	root := tree.Root()
 	out := make([]StoredFragment, len(frags))
-	for i, f := range frags {
-		out[i] = StoredFragment{
-			Root:  root,
-			Index: f.Index,
-			Total: len(frags),
-			Data:  f.Data,
-			Proof: tree.Proof(i),
+	// Proof extraction reads the immutable tree and writes out[i] only
+	// — safe to fan out alongside the parallel kernels upstream.
+	par.Do(len(frags), 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = StoredFragment{
+				Root:  root,
+				Index: frags[i].Index,
+				Total: len(frags),
+				Data:  frags[i].Data,
+				Proof: tree.Proof(i),
+			}
 		}
-	}
+	})
 	return root, out, nil
 }
 
@@ -140,10 +145,14 @@ func Decode(frags []StoredFragment, cfg Config) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Self-verification is per-fragment SHA-1 work — fan it out, then
+	// collect survivors in input order so the decode sees the same
+	// fragment sequence a serial verify would produce.
+	oks := par.Map(len(frags), 2, func(i int) bool { return frags[i].Verify() })
 	var es []erasure.Fragment
 	var sample *StoredFragment
 	for i := range frags {
-		if !frags[i].Verify() {
+		if !oks[i] {
 			continue // self-verification rejects corrupt fragments
 		}
 		es = append(es, erasure.Fragment{Index: frags[i].Index, Data: frags[i].Data})

@@ -11,6 +11,8 @@ package archive
 import (
 	"math"
 	"math/rand"
+
+	"oceanstore/internal/par"
 )
 
 // Availability evaluates the paper's §4.5 reliability formula: the
@@ -71,18 +73,44 @@ func ReplicationAvailability(copies int, pDown float64) float64 {
 // AvailabilityMonteCarlo estimates the same quantity by simulation:
 // each trial knocks out machines independently and asks whether at
 // least f-rf fragments survive.  Used to validate the closed form.
+//
+// Trials run on the fork-join pool in fixed-size blocks, each with a
+// sub-stream seeded serially from rng — block boundaries and seeds
+// depend only on (trials, rng), so the estimate is a pure function of
+// the caller's seed at any GOMAXPROCS.
 func AvailabilityMonteCarlo(f, rf int, pDown float64, trials int, rng *rand.Rand) float64 {
-	ok := 0
-	for t := 0; t < trials; t++ {
-		down := 0
-		for i := 0; i < f; i++ {
-			if rng.Float64() < pDown {
-				down++
+	if trials <= 0 {
+		return 0
+	}
+	const block = 8192
+	blocks := (trials + block - 1) / block
+	seeds := make([]int64, blocks)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	counts := par.Map(blocks, 1, func(b int) int {
+		n := block
+		if b == blocks-1 {
+			n = trials - b*block
+		}
+		r := rand.New(rand.NewSource(seeds[b]))
+		ok := 0
+		for t := 0; t < n; t++ {
+			down := 0
+			for i := 0; i < f; i++ {
+				if r.Float64() < pDown {
+					down++
+				}
+			}
+			if down <= rf {
+				ok++
 			}
 		}
-		if down <= rf {
-			ok++
-		}
+		return ok
+	})
+	ok := 0
+	for _, c := range counts {
+		ok += c
 	}
 	return float64(ok) / float64(trials)
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"oceanstore/internal/simnet"
 )
@@ -67,8 +68,11 @@ type pullReq struct {
 	Tree uint64
 }
 
-// treeCounter hands out process-unique tree IDs.
-var treeCounter uint64
+// treeCounter hands out process-unique tree IDs.  Incremented
+// atomically: concurrent simulations (the seed-sweep drivers) create
+// trees from independent kernels at once, and the ID only needs to be
+// unique, never sequential.
+var treeCounter atomic.Uint64
 
 // Tree is the dissemination tree for one object.
 type Tree struct {
@@ -88,9 +92,8 @@ func New(net *simnet.Network, root simnet.NodeID, fanout int) *Tree {
 	if fanout < 1 {
 		fanout = 4
 	}
-	treeCounter++
 	t := &Tree{
-		id:       treeCounter,
+		id:       treeCounter.Add(1),
 		net:      net,
 		fanout:   fanout,
 		root:     root,

@@ -1,0 +1,154 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// withProcs runs f under the given GOMAXPROCS, restoring the old value
+// — on a single-core host this still timeslices real goroutines, so
+// the parallel code paths (and their -race instrumentation) execute.
+func withProcs(procs int, f func()) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	f()
+}
+
+// encodeAll captures every fragment byte of one Encode call.
+func encodeAll(t *testing.T, c Codec, data []byte) [][]byte {
+	t.Helper()
+	frags, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(frags))
+	for i, fr := range frags {
+		if fr.Index != i {
+			t.Fatalf("fragment %d carries index %d", i, fr.Index)
+		}
+		out[i] = fr.Data
+	}
+	return out
+}
+
+// TestParallelEncodeMatchesSerial pins the determinism contract for
+// all three codecs: the fragments produced with the fork-join pool at
+// 4 workers are byte-identical to the serial (procs=1) ones, for
+// payloads on both sides of the parallel byte threshold.
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	codecs := []struct {
+		name string
+		mk   func() Codec
+	}{
+		{"rs", func() Codec { c, _ := NewReedSolomon(16, 32); return c }},
+		{"cauchy", func() Codec { c, _ := NewCauchyReedSolomon(16, 32); return c }},
+		{"tornado", func() Codec { c, _ := NewTornado(16, 32, 7); return c }},
+	}
+	for _, tc := range codecs {
+		for _, size := range []int{1 << 10, parByteMin, 256 << 10} {
+			t.Run(fmt.Sprintf("%s_%d", tc.name, size), func(t *testing.T) {
+				data := make([]byte, size)
+				rand.New(rand.NewSource(int64(size))).Read(data)
+				var serial, parallel [][]byte
+				withProcs(1, func() { serial = encodeAll(t, tc.mk(), data) })
+				withProcs(4, func() { parallel = encodeAll(t, tc.mk(), data) })
+				for i := range serial {
+					if !bytes.Equal(serial[i], parallel[i]) {
+						t.Fatalf("fragment %d differs between procs=1 and procs=4", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDecodeMatchesSerial drops fragments to force the matrix
+// path and checks the parallel reconstruction returns the exact input.
+func TestParallelDecodeMatchesSerial(t *testing.T) {
+	rs, err := NewReedSolomon(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200000)
+	rand.New(rand.NewSource(9)).Read(data)
+	frags, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose shards 0..7: half the data rows must be solved for.
+	sub := append([]Fragment(nil), frags[8:24]...)
+	var serial, parallel []byte
+	withProcs(1, func() {
+		var err error
+		serial, err = rs.Decode(sub, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withProcs(4, func() {
+		var err error
+		parallel, err = rs.Decode(sub, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !bytes.Equal(serial, data) {
+		t.Fatal("serial decode diverged from input")
+	}
+	if !bytes.Equal(parallel, data) {
+		t.Fatal("parallel decode diverged from input")
+	}
+}
+
+// TestGoldenFragmentBytesParallel re-runs the PR 2 golden-hash test
+// with the pool enabled: the archival GUID derivation must not move
+// by a single byte when encoding forks across workers.
+func TestGoldenFragmentBytesParallel(t *testing.T) {
+	withProcs(4, func() { TestGoldenFragmentBytes(t) })
+}
+
+// TestConcurrentEncodeDecodeRace hammers one shared codec from many
+// goroutines — the scratch pool, the decode-matrix cache, and the
+// fork-join workers all under -race.  Every goroutine must round-trip
+// its own payload.
+func TestConcurrentEncodeDecodeRace(t *testing.T) {
+	withProcs(4, func() {
+		rs, err := NewReedSolomon(8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(g)))
+				data := make([]byte, 40<<10)
+				r.Read(data)
+				for iter := 0; iter < 10; iter++ {
+					frags, err := rs.Encode(data)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Rotate which half survives so different goroutines
+					// exercise different cache keys concurrently.
+					sub := append([]Fragment(nil), frags[(g+iter)%8:]...)
+					got, err := rs.Decode(sub[:8], len(data))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !bytes.Equal(got, data) {
+						t.Errorf("goroutine %d iter %d: round-trip mismatch", g, iter)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}

@@ -44,9 +44,11 @@ const goldenChaosTrace = "5baa2fd12d46578b3b86c056c933fbc33e8ce2377328a52e3645ba
 
 func TestGoldenTraceHash(t *testing.T) {
 	var trace []simnet.TraceEvent
-	chaosRun(t, 11, fault.DemoChaosPlan(harnessNodes), func(ev simnet.TraceEvent) {
+	if _, err := chaosRun(11, fault.DemoChaosPlan(harnessNodes), func(ev simnet.TraceEvent) {
 		trace = append(trace, ev)
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	got := traceHash(trace)
 	if got != goldenChaosTrace {
 		t.Fatalf("fixed-seed trace hash changed:\n got  %s\n want %s\n"+

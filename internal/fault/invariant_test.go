@@ -50,18 +50,19 @@ func harnessPool(seed int64) *core.Pool {
 // chaosOutcome is everything one (seed, plan) run produces that the
 // invariants (and the determinism regression) inspect.
 type chaosOutcome struct {
-	stats     simnet.Stats
-	committed []string // markers whose commit callback fired
-	aborted   []string // markers that timed out / aborted
-	finalData string   // committed object contents after settle
-	readsOK   int      // remote reads that returned data
-	readsErr  int      // remote reads that errored by deadline
-	readsMute int      // remote reads whose callback never fired (bug)
-	routesOK  int
-	routesErr int
-	routeMute int
-	inflight  int // routes outstanding after the run (must be 0)
-	archives  []archiveCheck
+	stats       simnet.Stats
+	committed   []string // markers whose commit callback fired
+	aborted     []string // markers that timed out / aborted
+	finalData   string   // committed object contents after settle
+	readsOK     int      // remote reads that returned data
+	readsErr    int      // remote reads that errored by deadline
+	readsMute   int      // remote reads whose callback never fired (bug)
+	doubleFired int      // read callbacks that fired more than once (bug)
+	routesOK    int
+	routesErr   int
+	routeMute   int
+	inflight    int // routes outstanding after the run (must be 0)
+	archives    []archiveCheck
 }
 
 type archiveCheck struct {
@@ -75,8 +76,12 @@ type archiveCheck struct {
 // markers, a reader doing remote reads, background mesh routes — all
 // while the plan's faults fire — then a heal and settle phase, then the
 // archive reconstruction probes.
-func chaosRun(t *testing.T, seed int64, plan fault.Plan, trace func(simnet.TraceEvent)) chaosOutcome {
-	t.Helper()
+//
+// It deliberately takes no *testing.T: the seed sweep fans runs out on
+// fault.Sweep's worker pool, where testing's Fatal machinery must not
+// be called.  Anomalies come back in the outcome (or the error) and
+// are asserted on the main test goroutine.
+func chaosRun(seed int64, plan fault.Plan, trace func(simnet.TraceEvent)) (chaosOutcome, error) {
 	var out chaosOutcome
 
 	p := harnessPool(seed)
@@ -86,16 +91,16 @@ func chaosRun(t *testing.T, seed int64, plan fault.Plan, trace func(simnet.Trace
 	client := p.NewClient(20, crypt.NewSigner(p.K.Rand()))
 	obj, err := client.Create("chaos", []byte("base;"))
 	if err != nil {
-		t.Fatal(err)
+		return out, fmt.Errorf("create: %w", err)
 	}
 	for _, nid := range []simnet.NodeID{8, 10, 12, 14} {
 		if err := p.AddReplica(obj, nid); err != nil {
-			t.Fatal(err)
+			return out, fmt.Errorf("add replica %d: %w", nid, err)
 		}
 	}
 	ring, _ := p.Ring(obj)
 	if _, err := ring.ArchiveNow(); err != nil {
-		t.Fatal(err)
+		return out, fmt.Errorf("archive: %w", err)
 	}
 
 	stop := p.StartMaintenance(core.MaintenanceConfig{
@@ -141,7 +146,7 @@ func chaosRun(t *testing.T, seed int64, plan fault.Plan, trace func(simnet.Trace
 			fired := false
 			reader.RemoteRead(obj, readDeadline, func(data []byte, err error) {
 				if fired {
-					t.Errorf("read callback fired twice")
+					out.doubleFired++
 				}
 				fired = true
 				if err != nil {
@@ -196,7 +201,7 @@ func chaosRun(t *testing.T, seed int64, plan fault.Plan, trace func(simnet.Trace
 	final := client.NewSession(core.ReadCommitted)
 	data, err := final.Read(obj)
 	if err != nil {
-		t.Fatalf("final committed read: %v", err)
+		return out, fmt.Errorf("final committed read: %w", err)
 	}
 	out.finalData = string(data)
 
@@ -222,53 +227,73 @@ func chaosRun(t *testing.T, seed int64, plan fault.Plan, trace func(simnet.Trace
 	if readsIssued != out.readsOK+out.readsErr {
 		out.readsMute = readsIssued - out.readsOK - out.readsErr
 	}
-	return out
+	return out, nil
+}
+
+// sweepResult pairs one combination's outcome with its setup error so
+// the pool can carry both back to the assertion loop.
+type sweepResult struct {
+	out chaosOutcome
+	err error
 }
 
 func TestInvariantsUnderFaults(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4}
-	for _, plan := range fault.StandardPlans(harnessNodes) {
-		for _, seed := range seeds {
-			plan, seed := plan, seed
-			t.Run(fmt.Sprintf("plan=%s/seed=%d", plan.Name, seed), func(t *testing.T) {
-				out := chaosRun(t, seed, plan, nil)
+	plans := fault.StandardPlans(harnessNodes)
+	// Fan the 20 combinations out on the fork-join pool — one simulator
+	// kernel per worker — then assert serially in canonical Combos
+	// order, preserving the plan=<name>/seed=<n> subtest naming.
+	results := fault.Sweep(plans, seeds, func(plan fault.Plan, seed int64) sweepResult {
+		out, err := chaosRun(seed, plan, nil)
+		return sweepResult{out, err}
+	})
+	for i, c := range fault.Combos(plans, seeds) {
+		plan, seed, res := c.Plan, c.Seed, results[i]
+		t.Run(fmt.Sprintf("plan=%s/seed=%d", plan.Name, seed), func(t *testing.T) {
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			out := res.out
 
-				// Invariant 1: no committed update lost.
-				for _, m := range out.committed {
-					if !strings.Contains(out.finalData, m) {
-						t.Errorf("plan %q seed %d: committed marker %q missing from final state %q",
-							plan.Name, seed, m, out.finalData)
-					}
+			// Invariant 1: no committed update lost.
+			for _, m := range out.committed {
+				if !strings.Contains(out.finalData, m) {
+					t.Errorf("plan %q seed %d: committed marker %q missing from final state %q",
+						plan.Name, seed, m, out.finalData)
 				}
-				if len(out.committed) == 0 {
-					t.Errorf("plan %q seed %d: no update committed at all (plans must be survivable)",
-						plan.Name, seed)
-				}
+			}
+			if len(out.committed) == 0 {
+				t.Errorf("plan %q seed %d: no update committed at all (plans must be survivable)",
+					plan.Name, seed)
+			}
 
-				// Invariant 2: archives with enough live fragments rebuild.
-				for _, a := range out.archives {
-					if a.live >= 4 && !a.rebuilt {
-						t.Errorf("plan %q seed %d: archive %s has %d live fragments but did not reconstruct: %v",
-							plan.Name, seed, a.root.Short(), a.live, a.err)
-					}
+			// Invariant 2: archives with enough live fragments rebuild.
+			for _, a := range out.archives {
+				if a.live >= 4 && !a.rebuilt {
+					t.Errorf("plan %q seed %d: archive %s has %d live fragments but did not reconstruct: %v",
+						plan.Name, seed, a.root.Short(), a.live, a.err)
 				}
+			}
 
-				// Invariant 3: liveness — every callback fired, nothing left
-				// hanging on the virtual clock.
-				if out.readsMute != 0 {
-					t.Errorf("plan %q seed %d: %d remote reads never called back",
-						plan.Name, seed, out.readsMute)
-				}
-				if out.routeMute != 0 {
-					t.Errorf("plan %q seed %d: %d mesh routes never called back",
-						plan.Name, seed, out.routeMute)
-				}
-				if out.inflight != 0 {
-					t.Errorf("plan %q seed %d: %d mesh routes still inflight after deadlines",
-						plan.Name, seed, out.inflight)
-				}
-			})
-		}
+			// Invariant 3: liveness — every callback fired exactly once,
+			// nothing left hanging on the virtual clock.
+			if out.doubleFired != 0 {
+				t.Errorf("plan %q seed %d: %d read callbacks fired twice",
+					plan.Name, seed, out.doubleFired)
+			}
+			if out.readsMute != 0 {
+				t.Errorf("plan %q seed %d: %d remote reads never called back",
+					plan.Name, seed, out.readsMute)
+			}
+			if out.routeMute != 0 {
+				t.Errorf("plan %q seed %d: %d mesh routes never called back",
+					plan.Name, seed, out.routeMute)
+			}
+			if out.inflight != 0 {
+				t.Errorf("plan %q seed %d: %d mesh routes still inflight after deadlines",
+					plan.Name, seed, out.inflight)
+			}
+		})
 	}
 }
 
@@ -278,9 +303,12 @@ func TestInvariantsUnderFaults(t *testing.T) {
 func TestDeterminismRegression(t *testing.T) {
 	run := func(seed int64) (simnet.Stats, []simnet.TraceEvent) {
 		var trace []simnet.TraceEvent
-		out := chaosRun(t, seed, fault.DemoChaosPlan(harnessNodes), func(ev simnet.TraceEvent) {
+		out, err := chaosRun(seed, fault.DemoChaosPlan(harnessNodes), func(ev simnet.TraceEvent) {
 			trace = append(trace, ev)
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return out.stats, trace
 	}
 	s1, t1 := run(7)

@@ -1,0 +1,35 @@
+package fault_test
+
+// BenchmarkInvariantSweep measures the full seed-swept invariant
+// harness as one unit of work: every standard fault plan crossed with
+// four kernel seeds, fanned out on the fork-join pool.  Run with
+// `-cpu 1,2,4` to see the sweep scale with cores; procs=1 takes the
+// serial fallback, so the single-core number is the PR 2 behaviour.
+
+import (
+	"testing"
+
+	"oceanstore/internal/fault"
+)
+
+func BenchmarkInvariantSweep(b *testing.B) {
+	seeds := []int64{1, 2, 3, 4}
+	plans := fault.StandardPlans(harnessNodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := fault.Sweep(plans, seeds, func(plan fault.Plan, seed int64) sweepResult {
+			out, err := chaosRun(seed, plan, nil)
+			return sweepResult{out, err}
+		})
+		for _, res := range results {
+			if res.err != nil {
+				b.Fatal(res.err)
+			}
+			if len(res.out.committed) == 0 {
+				b.Fatal("sweep combination committed nothing")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(plans)*len(seeds)), "combos")
+}

@@ -1,0 +1,58 @@
+package merkle
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestParallelBuildMatchesSerial builds trees with the fork-join pool
+// at 4 workers and serially, and requires identical roots, levels and
+// proofs — the root is an archival GUID, so parallel hashing must not
+// move a byte.  The 4096-leaf case pushes the first inner level past
+// the parallel-level threshold so level hashing forks too.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	build := func(procs int, frags [][]byte) *Tree {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		return Build(frags)
+	}
+	for _, tc := range []struct{ leaves, size int }{
+		{1, 10}, {3, 64}, {32, 4096}, {33, 4096}, {4096, 64},
+	} {
+		frags := make([][]byte, tc.leaves)
+		r := rand.New(rand.NewSource(int64(tc.leaves)))
+		for i := range frags {
+			frags[i] = make([]byte, tc.size)
+			r.Read(frags[i])
+		}
+		serial := build(1, frags)
+		parallel := build(4, frags)
+		if serial.Root() != parallel.Root() {
+			t.Fatalf("leaves=%d size=%d: parallel root differs", tc.leaves, tc.size)
+		}
+		if len(serial.levels) != len(parallel.levels) {
+			t.Fatalf("leaves=%d: level count differs", tc.leaves)
+		}
+		for l := range serial.levels {
+			for i := range serial.levels[l] {
+				if serial.levels[l][i] != parallel.levels[l][i] {
+					t.Fatalf("leaves=%d: level %d node %d differs", tc.leaves, l, i)
+				}
+			}
+		}
+		for _, i := range []int{0, tc.leaves / 2, tc.leaves - 1} {
+			sp, pp := serial.Proof(i), parallel.Proof(i)
+			if len(sp) != len(pp) {
+				t.Fatalf("leaves=%d: proof %d length differs", tc.leaves, i)
+			}
+			for j := range sp {
+				if sp[j] != pp[j] {
+					t.Fatalf("leaves=%d: proof %d element %d differs", tc.leaves, i, j)
+				}
+			}
+			if !Verify(frags[i], i, tc.leaves, pp, parallel.Root()) {
+				t.Fatalf("leaves=%d: parallel proof %d does not verify", tc.leaves, i)
+			}
+		}
+	}
+}

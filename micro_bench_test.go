@@ -136,6 +136,24 @@ func BenchmarkArchiveEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkArchiveEncodeLarge is the same pipeline on a 1 MiB
+// snapshot — big enough that the erasure and Merkle kernels fork onto
+// the worker pool.  Run with `-cpu 1,2,4` to measure the speedup; the
+// -cpu 1 number is the serial fallback.
+func BenchmarkArchiveEncodeLarge(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(6)).Read(data)
+	cfg := archive.Config{DataShards: 16, TotalFragments: 32}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := archive.Encode(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSignVerifyUpdate measures client-side signing plus the
 // server-side signature check every well-behaved replica performs.
 func BenchmarkSignVerifyUpdate(b *testing.B) {
