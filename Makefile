@@ -5,14 +5,27 @@ GO ?= go
 # over these runs with GOMAXPROCS=4 so the pool actually forks even on
 # small CI machines.
 PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
-	./internal/merkle/ ./internal/bloom/ ./internal/fault/
+	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/
 
-.PHONY: check vet build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate
 
-check: vet build race race-par fuzz-corpora bench-smoke
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: package-global math/rand draws (rand.Intn, rand.Read,
+# ...) bypass the simulator's seeded sources and make runs depend on
+# process-global state.  Every draw must come through an injected
+# *rand.Rand (kernel RNG or a per-experiment seeded source); only the
+# simulator core under internal/sim may touch the global generator.
+vet-rand:
+	@bad=$$(grep -rnE 'rand\.(Intn|Int31n?|Int63n?|Int|Uint32|Uint64|Float32|Float64|ExpFloat64|NormFloat64|Perm|Shuffle|Read|Seed)\(' \
+		--include '*.go' . | grep -v '^\./internal/sim/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-rand: global math/rand draw outside internal/sim:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -62,7 +62,7 @@ func analyticCost(n, u int) float64 {
 // runFig6 prints the Figure 6 series: normalized cost (bytes / (u·n))
 // for the paper's three tiers, both from the analytic model and as
 // measured from the simulated protocol.
-func runFig6(w io.Writer, seed int64) {
+func runFig6(w io.Writer, seed int64, _ *obsink) {
 	sizes := []int{100, 400, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 100 << 10, 256 << 10, 1 << 20, 10 << 20}
 	tiers := [][2]int{{2, 7}, {3, 10}, {4, 13}}
 	// Every (size, tier) cell is an independent simulation with its own
@@ -99,11 +99,15 @@ func runFig6(w io.Writer, seed int64) {
 
 // runLatency prints E2: commit latency for the paper's tiers under
 // uniform 100 ms message latency; the paper estimates <1 s.
-func runLatency(w io.Writer, seed int64) {
+func runLatency(w io.Writer, seed int64, ob *obsink) {
 	fmt.Fprintf(w, "%-10s %-8s %-12s %s\n", "tier", "faults", "latency", "under 1s?")
 	for _, t := range [][2]int{{2, 7}, {3, 10}, {4, 13}} {
 		m, n := t[0], t[1]
-		k, _, g, client := tier(n, m, seed)
+		k, net, g, client := tier(n, m, seed)
+		// The three tiers run serially, so they can share one sink: the
+		// byz/simnet counters aggregate across tiers deterministically.
+		net.Instrument(ob.registry(), ob.tracer())
+		g.Instrument(ob.registry(), ob.tracer())
 		var lat time.Duration
 		g.Submit(client, byz.Request{ID: guid.FromData([]byte("lat")), Payload: "u", Size: 4096},
 			func(r byz.Result) { lat = r.Latency })

@@ -18,7 +18,7 @@ import (
 // runTwoTier shows §4.3's combined mechanism on a live pool: the
 // fraction of queries the fast probabilistic tier satisfies as filter
 // depth grows, and the global mesh catching everything else.
-func runTwoTier(w io.Writer, seed int64) {
+func runTwoTier(w io.Writer, seed int64, _ *obsink) {
 	fmt.Fprintf(w, "%-6s %-14s %-14s %-14s\n", "depth", "probabilistic", "global", "state/node")
 	for _, depth := range []int{1, 2, 3, 4} {
 		cfg := core.DefaultPoolConfig()
@@ -60,7 +60,7 @@ func runTwoTier(w io.Writer, seed int64) {
 
 // runFanout is the dissemination-tree ablation: fanout trades tree
 // depth (delivery latency at the leaves) against per-node send load.
-func runFanout(w io.Writer, seed int64) {
+func runFanout(w io.Writer, seed int64, _ *obsink) {
 	fmt.Fprintf(w, "%-8s %-10s %-16s %-14s\n", "fanout", "max depth", "full-tree time", "root sends")
 	for _, fanout := range []int{2, 4, 8, 16} {
 		k := sim.NewKernel(seed)
@@ -106,11 +106,12 @@ func runFanout(w io.Writer, seed int64) {
 // runSoak drives a Zipf read/write mix over a maintained pool with
 // background churn — the closest thing to the paper's envisioned
 // steady-state operation.
-func runSoak(w io.Writer, seed int64) {
+func runSoak(w io.Writer, seed int64, ob *obsink) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 48
 	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
 	p := core.NewPool(seed, cfg)
+	p.Instrument(ob.registry(), ob.tracer())
 	stop := p.StartMaintenance(core.DefaultMaintenanceConfig())
 	defer stop()
 

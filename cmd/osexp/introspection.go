@@ -16,7 +16,7 @@ import (
 
 // runPrefetch prints E7: prefetcher hit rate vs noise fraction for
 // model orders 0..3, on traces with embedded order-2 correlations.
-func runPrefetch(w io.Writer, seed int64) {
+func runPrefetch(w io.Writer, seed int64, _ *obsink) {
 	fmt.Fprintln(w, "trace: repeating order-2 patterns (A,B -> C; X,B -> D) mixed with uniform noise")
 	fmt.Fprintln(w, "metric: top-1 prediction hit rate (400-access traces, 40-access warmup)")
 	fmt.Fprintln(w)
@@ -51,7 +51,7 @@ func gg(b byte) guid.GUID { return guid.FromData([]byte{b}) }
 
 // runReplicaMgmt prints E10: a hot object gains floating replicas near
 // its clients, dropping read latency; when load fades, replicas retire.
-func runReplicaMgmt(w io.Writer, seed int64) {
+func runReplicaMgmt(w io.Writer, seed int64, _ *obsink) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 48
 	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}

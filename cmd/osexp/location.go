@@ -28,7 +28,7 @@ func torus(side int) [][]int {
 // runBloom prints E4: the probabilistic tier's success rate within the
 // filter horizon, its hop stretch vs optimal, and per-node state, for
 // several filter depths.
-func runBloom(w io.Writer, seed int64) {
+func runBloom(w io.Writer, seed int64, _ *obsink) {
 	const side = 16 // 256-node torus
 	const objects = 120
 	const queries = 400
@@ -72,7 +72,7 @@ func runBloom(w io.Writer, seed int64) {
 
 // runPlaxton prints E5: routing hop scaling, locate locality, and the
 // effect of salted multi-roots on availability after root failure.
-func runPlaxton(w io.Writer, seed int64) {
+func runPlaxton(w io.Writer, seed int64, _ *obsink) {
 	fmt.Fprintln(w, "-- routing hops vs network size (paper: O(log n) resolution) --")
 	fmt.Fprintf(w, "%-8s %-10s %-12s %-10s\n", "nodes", "avg hops", "max hops", "log16(n)")
 	for _, n := range []int{16, 64, 256, 1024, 4096} {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	osexp [-seeds N] <experiment> [seed]
+//	osexp [-seeds N] [-metrics FILE] [-trace FILE] <experiment> [seed]
 //
 // where <experiment> is one of: fig6, latency, reliability, bloom,
 // plaxton, fragments, prefetch, ciphertext, byzfaults, replicamgmt,
@@ -15,6 +15,12 @@
 // row.  The output for each seed is byte-identical to a single-seed
 // run: every experiment writes to its own buffer, so parallelism
 // never interleaves or reorders lines.
+//
+// With -metrics FILE the instrumented experiments (latency, fragments,
+// updatepath, soak) additionally dump their observability counters in
+// cmd/benchjson-compatible Benchmark lines; with -trace FILE they dump
+// per-message trace events as JSONL.  Both dumps are deterministic:
+// the same seed produces byte-identical files at any GOMAXPROCS.
 package main
 
 import (
@@ -25,13 +31,14 @@ import (
 	"os"
 	"strconv"
 
+	"oceanstore/internal/obs"
 	"oceanstore/internal/par"
 )
 
 type experiment struct {
 	name string
 	desc string
-	run  func(w io.Writer, seed int64)
+	run  func(w io.Writer, seed int64, ob *obsink)
 }
 
 var experiments = []experiment{
@@ -51,40 +58,206 @@ var experiments = []experiment{
 	{"soak", "steady state — Zipf mix over a maintained pool with churn", runSoak},
 }
 
+// obsink bundles the observability sinks one experiment run collects
+// into.  A nil *obsink disables collection entirely; experiments that
+// spin up several concurrent simulators give each its own sub() sink
+// and merge the children back in a fixed order, mirroring internal/
+// par's ordered-merge discipline so dumps stay byte-identical at any
+// GOMAXPROCS.
+type obsink struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+}
+
+// registry returns the metrics registry (nil when disabled).
+func (o *obsink) registry() *obs.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// tracer returns the trace ring (nil when disabled).
+func (o *obsink) tracer() *obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+// sub creates a child sink with the same enablement, for per-cell
+// simulators that run concurrently.
+func (o *obsink) sub() *obsink {
+	if o == nil {
+		return nil
+	}
+	c := &obsink{}
+	if o.reg != nil {
+		c.reg = obs.NewRegistry()
+	}
+	if o.tr != nil {
+		c.tr = obs.NewTracer(0)
+	}
+	return c
+}
+
+// merge folds a child sink back in.  Callers must merge children in a
+// deterministic order (grid order, seed order).
+func (o *obsink) merge(c *obsink) {
+	if o == nil || c == nil {
+		return
+	}
+	if o.reg != nil && c.reg != nil {
+		o.reg.Merge(c.reg)
+	}
+	if o.tr != nil && c.tr != nil {
+		o.tr.Append(c.tr)
+	}
+}
+
+// obsOut is where collected observability goes at the end of a run.
+type obsOut struct {
+	metricsW io.Writer
+	traceW   io.Writer
+}
+
+// mk creates a fresh per-seed sink matching the enabled outputs, or
+// nil when neither output is wanted.  Safe on a nil receiver.
+func (o *obsOut) mk() *obsink {
+	if o == nil || (o.metricsW == nil && o.traceW == nil) {
+		return nil
+	}
+	ob := &obsink{}
+	if o.metricsW != nil {
+		ob.reg = obs.NewRegistry()
+	}
+	if o.traceW != nil {
+		ob.tr = obs.NewTracer(0)
+	}
+	return ob
+}
+
+// flush writes one seed's collected metrics and trace.  Metrics become
+// Benchmark lines under obs/<experiment>/s<seed>/...; the trace is a
+// JSONL stream prefixed with one header object per seed section.
+func (o *obsOut) flush(exp string, seed int64, ob *obsink) error {
+	if o == nil || ob == nil {
+		return nil
+	}
+	if o.metricsW != nil && ob.reg != nil {
+		prefix := "obs/" + exp + "/s" + strconv.FormatInt(seed, 10)
+		if err := ob.reg.WriteBench(o.metricsW, prefix); err != nil {
+			return err
+		}
+	}
+	if o.traceW != nil && ob.tr != nil {
+		if _, err := fmt.Fprintf(o.traceW, "{\"exp\":%q,\"seed\":%d,\"events\":%d,\"dropped\":%d}\n",
+			exp, seed, ob.tr.Len(), ob.tr.Dropped()); err != nil {
+			return err
+		}
+		if err := ob.tr.WriteJSONL(o.traceW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // seedOutputs runs e over nSeeds consecutive seeds starting at base,
-// in parallel, each into its own buffer.  Results come back in seed
-// order regardless of how many workers ran them.
-func seedOutputs(e experiment, base int64, nSeeds int) [][]byte {
-	return par.Map(nSeeds, 1, func(i int) []byte {
+// in parallel, each into its own buffer and (when mk is non-nil) its
+// own observability sink.  Results come back in seed order regardless
+// of how many workers ran them.
+func seedOutputs(e experiment, base int64, nSeeds int, mk func() *obsink) ([][]byte, []*obsink) {
+	type res struct {
+		out []byte
+		ob  *obsink
+	}
+	rs := par.Map(nSeeds, 1, func(i int) res {
 		var buf bytes.Buffer
-		e.run(&buf, base+int64(i))
-		return buf.Bytes()
+		var ob *obsink
+		if mk != nil {
+			ob = mk()
+		}
+		e.run(&buf, base+int64(i), ob)
+		return res{out: buf.Bytes(), ob: ob}
 	})
+	outs := make([][]byte, nSeeds)
+	sinks := make([]*obsink, nSeeds)
+	for i, r := range rs {
+		outs[i], sinks[i] = r.out, r.ob
+	}
+	return outs, sinks
 }
 
 // runOne executes one experiment, streaming directly for a single
 // seed, or fanning the seed sweep out and printing per-seed sections
-// plus an aggregate row.
-func runOne(e experiment, base int64, nSeeds int) {
+// plus an aggregate row.  Observability dumps happen in seed order.
+func runOne(e experiment, base int64, nSeeds int, oo *obsOut) {
 	fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
 	if nSeeds <= 1 {
-		e.run(os.Stdout, base)
+		ob := oo.mk()
+		e.run(os.Stdout, base, ob)
+		if err := oo.flush(e.name, base, ob); err != nil {
+			fmt.Fprintf(os.Stderr, "obs dump: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
-	outs := seedOutputs(e, base, nSeeds)
+	outs, sinks := seedOutputs(e, base, nSeeds, oo.mk)
 	distinct := make(map[string]bool)
 	for i, out := range outs {
 		fmt.Printf("---- seed %d ----\n", base+int64(i))
 		os.Stdout.Write(out)
 		distinct[string(out)] = true
+		if err := oo.flush(e.name, base+int64(i), sinks[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "obs dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("-- aggregate: %s over %d seeds [%d..%d]: %d/%d distinct outputs --\n",
 		e.name, nSeeds, base, base+int64(nSeeds)-1, len(distinct), nSeeds)
 }
 
+// openSinks opens the -metrics/-trace outputs.  "-" selects stdout.
+func openSinks(metricsPath, tracePath string) (*obsOut, func(), error) {
+	if metricsPath == "" && tracePath == "" {
+		return nil, func() {}, nil
+	}
+	oo := &obsOut{}
+	var files []*os.File
+	open := func(p string) (io.Writer, error) {
+		if p == "-" {
+			return os.Stdout, nil
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	var err error
+	if metricsPath != "" {
+		if oo.metricsW, err = open(metricsPath); err != nil {
+			return nil, nil, err
+		}
+	}
+	if tracePath != "" {
+		if oo.traceW, err = open(tracePath); err != nil {
+			return nil, nil, err
+		}
+	}
+	return oo, func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}, nil
+}
+
 func main() {
 	fs := flag.NewFlagSet("osexp", flag.ExitOnError)
 	nSeeds := fs.Int("seeds", 1, "run the experiment over N consecutive seeds in parallel")
+	metricsPath := fs.String("metrics", "", "write deterministic metrics as Benchmark lines to `FILE` (\"-\" for stdout)")
+	tracePath := fs.String("trace", "", "write per-message trace events as JSONL to `FILE` (\"-\" for stdout)")
 	fs.Usage = usage
 	fs.Parse(os.Args[1:])
 	args := fs.Args()
@@ -102,31 +275,44 @@ func main() {
 		seed = s
 	}
 	name := args[0]
+	var list []experiment
 	if name == "all" {
+		list = experiments
+	} else {
 		for _, e := range experiments {
-			runOne(e, seed, *nSeeds)
+			if e.name == name {
+				list = []experiment{e}
+			}
+		}
+		if list == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
+		}
+	}
+	oo, closeSinks, err := openSinks(*metricsPath, *tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osexp: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range list {
+		runOne(e, seed, *nSeeds, oo)
+		if name == "all" {
 			fmt.Println()
 		}
-		return
 	}
-	for _, e := range experiments {
-		if e.name == name {
-			runOne(e, seed, *nSeeds)
-			return
-		}
-	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
-	usage()
-	os.Exit(2)
+	closeSinks()
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osexp [-seeds N] <experiment> [seed]")
+	fmt.Fprintln(os.Stderr, "usage: osexp [-seeds N] [-metrics FILE] [-trace FILE] <experiment> [seed]")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all          run everything")
 	fmt.Fprintln(os.Stderr, "flags:")
-	fmt.Fprintln(os.Stderr, "  -seeds N     run over seeds seed..seed+N-1 in parallel, with an aggregate row")
+	fmt.Fprintln(os.Stderr, "  -seeds N       run over seeds seed..seed+N-1 in parallel, with an aggregate row")
+	fmt.Fprintln(os.Stderr, "  -metrics FILE  dump deterministic counters/histograms as Benchmark lines")
+	fmt.Fprintln(os.Stderr, "  -trace FILE    dump per-message trace events as JSONL (instrumented experiments)")
 }

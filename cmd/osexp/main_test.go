@@ -21,7 +21,8 @@ func TestSeedOutputsProcsInvariant(t *testing.T) {
 		t.Run(e.name, func(t *testing.T) {
 			run := func(procs int) [][]byte {
 				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
-				return seedOutputs(e, 3, 4)
+				outs, _ := seedOutputs(e, 3, 4, nil)
+				return outs
 			}
 			serial := run(1)
 			parallel := run(4)
@@ -47,9 +48,78 @@ func TestSingleSeedMatchesSweepMember(t *testing.T) {
 			e = x
 		}
 	}
-	alone := seedOutputs(e, 5, 1)
-	swept := seedOutputs(e, 4, 3)
+	alone, _ := seedOutputs(e, 5, 1, nil)
+	swept, _ := seedOutputs(e, 4, 3, nil)
 	if !bytes.Equal(alone[0], swept[1]) {
 		t.Fatal("seed 5 alone differs from seed 5 inside a [4..6] sweep")
+	}
+}
+
+// obsDump renders a seed sweep's observability exactly as osexp
+// -metrics/-trace would write it, into one byte slice per stream.
+func obsDump(t *testing.T, e experiment, base int64, nSeeds int) (metrics, trace []byte) {
+	t.Helper()
+	var mbuf, tbuf bytes.Buffer
+	oo := &obsOut{metricsW: &mbuf, traceW: &tbuf}
+	outs, sinks := seedOutputs(e, base, nSeeds, oo.mk)
+	for i := range outs {
+		if err := oo.flush(e.name, base+int64(i), sinks[i]); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	return mbuf.Bytes(), tbuf.Bytes()
+}
+
+// TestObsDumpProcsInvariant is the acceptance gate for the
+// observability layer: with a fixed seed, the metrics dump and the
+// JSONL trace must be byte-identical at GOMAXPROCS=1 and 4, including
+// for the fragments experiment whose per-cell simulators run
+// concurrently on the fork-join pool and merge their sub-sinks.
+func TestObsDumpProcsInvariant(t *testing.T) {
+	for _, name := range []string{"latency", "fragments"} {
+		var e experiment
+		for _, x := range experiments {
+			if x.name == name {
+				e = x
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(procs int) ([]byte, []byte) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				return obsDump(t, e, 3, 2)
+			}
+			m1, t1 := run(1)
+			m4, t4 := run(4)
+			if len(m1) == 0 {
+				t.Fatal("empty metrics dump")
+			}
+			if len(t1) == 0 {
+				t.Fatal("empty trace dump")
+			}
+			if !bytes.Equal(m1, m4) {
+				t.Fatal("metrics dump differs between GOMAXPROCS=1 and 4")
+			}
+			if !bytes.Equal(t1, t4) {
+				t.Fatal("trace dump differs between GOMAXPROCS=1 and 4")
+			}
+		})
+	}
+}
+
+// TestInstrumentationInert: attaching observability must not change an
+// experiment's stdout output — collection is counting only, off the
+// decision path, drawing no randomness.
+func TestInstrumentationInert(t *testing.T) {
+	var e experiment
+	for _, x := range experiments {
+		if x.name == "latency" {
+			e = x
+		}
+	}
+	bare, _ := seedOutputs(e, 7, 1, nil)
+	oo := &obsOut{metricsW: &bytes.Buffer{}, traceW: &bytes.Buffer{}}
+	instrumented, _ := seedOutputs(e, 7, 1, oo.mk)
+	if !bytes.Equal(bare[0], instrumented[0]) {
+		t.Fatal("instrumented run produced different experiment output")
 	}
 }

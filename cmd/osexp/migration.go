@@ -28,7 +28,7 @@ func init() {
 // compare access latency when data sits statically at one site versus
 // when it migrates ahead of the predicted site, gated by the
 // detector's confidence estimate.
-func runMigration(w io.Writer, seed int64) {
+func runMigration(w io.Writer, seed int64, _ *obsink) {
 	const (
 		office, home = 0, 1
 		officeLat    = 5 * time.Millisecond  // local LAN when data is here

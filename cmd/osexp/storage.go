@@ -16,7 +16,7 @@ import (
 // runReliability prints E3: the paper's §4.5 availability numbers —
 // two-way replication vs rate-1/2 fragmentation at 10% machine
 // downtime, closed form and Monte Carlo.
-func runReliability(w io.Writer, seed int64) {
+func runReliability(w io.Writer, seed int64, _ *obsink) {
 	rng := rand.New(rand.NewSource(seed))
 	const p = 0.1
 	fmt.Fprintf(w, "machine downtime: %.0f%% (paper: \"a million machines, ten percent of which are currently down\")\n\n", p*100)
@@ -39,7 +39,7 @@ func runReliability(w io.Writer, seed int64) {
 
 // runFragments prints E6: reconstruction success and latency vs the
 // number of extra fragments requested, under request drop rates.
-func runFragments(w io.Writer, seed int64) {
+func runFragments(w io.Writer, seed int64, ob *obsink) {
 	const trials = 20
 	drops := []float64{0, 0.05, 0.1, 0.2}
 	extras := []int{0, 4, 8, 16}
@@ -52,6 +52,7 @@ func runFragments(w io.Writer, seed int64) {
 	type cell struct {
 		ok  bool
 		lat time.Duration
+		ob  *obsink
 	}
 	cells := par.Map(len(drops)*len(extras)*trials, 2, func(i int) cell {
 		drop := drops[i/(len(extras)*trials)]
@@ -65,6 +66,11 @@ func runFragments(w io.Writer, seed int64) {
 		})
 		nodes := net.AddRandomNodes(48, 50, 6)
 		svc := archive.NewService(net, nodes)
+		// Cells run concurrently: each collects into its own sub-sink,
+		// merged back below in grid order so dumps are procs-invariant.
+		sub := ob.sub()
+		net.Instrument(sub.registry(), sub.tracer())
+		svc.Instrument(sub.registry(), sub.tracer())
 		data := make([]byte, 8192)
 		rand.New(rand.NewSource(int64(trial))).Read(data)
 		root, err := svc.Archive(data, archive.Config{DataShards: 16, TotalFragments: 32}, nil)
@@ -78,8 +84,12 @@ func runFragments(w io.Writer, seed int64) {
 			}
 		})
 		k.RunFor(10 * time.Second)
+		out.ob = sub
 		return out
 	})
+	for _, c := range cells {
+		ob.merge(c.ob)
+	}
 	for di := range drops {
 		for ei := range extras {
 			ok := 0

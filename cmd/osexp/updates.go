@@ -19,7 +19,7 @@ import (
 // runCiphertext prints E8: the Figure 4 operations on ciphertext plus
 // the predicate set, with sizes, all without the server ever holding a
 // key.
-func runCiphertext(w io.Writer, seed int64) {
+func runCiphertext(w io.Writer, seed int64, _ *obsink) {
 	r := rand.New(rand.NewSource(seed))
 	key := crypt.NewBlockKey(r)
 	v := object.NewObject([]byte("AABBCC"), 2, key)
@@ -85,7 +85,7 @@ func runCiphertext(w io.Writer, seed int64) {
 
 // runByzFaults prints E9: agreement outcomes with increasing crash and
 // lying replica counts in an n=13, f=4 tier.
-func runByzFaults(w io.Writer, seed int64) {
+func runByzFaults(w io.Writer, seed int64, _ *obsink) {
 	const n, f = 13, 4
 	fmt.Fprintf(w, "tier: n=%d replicas, f=%d tolerated (n = 3f+1)\n\n", n, f)
 	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", "crashed", "lying", "committed", "latency")
@@ -117,12 +117,13 @@ func runByzFaults(w io.Writer, seed int64) {
 // runUpdatePath prints E11: the Figure 5 timeline of one update through
 // a pool with 100 secondaries, showing when tentative data appears and
 // when the commit reaches everyone.
-func runUpdatePath(w io.Writer, seed int64) {
+func runUpdatePath(w io.Writer, seed int64, ob *obsink) {
 	cfg := core.DefaultPoolConfig()
 	cfg.Nodes = 128
 	cfg.Ring.Archive = archive.Config{DataShards: 8, TotalFragments: 16}
 	cfg.Ring.GossipInterval = 500 * time.Millisecond
 	p := core.NewPool(seed, cfg)
+	p.Instrument(ob.registry(), ob.tracer())
 	client := p.NewClient(127, crypt.NewSigner(p.K.Rand()))
 	client.Spread = 4
 	obj, err := client.Create("timeline", []byte(""))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"oceanstore/internal/guid"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/simnet"
 )
 
@@ -45,6 +46,55 @@ type Service struct {
 	nextRid    uint64
 	inflight   map[uint64]*retrievalState
 	requesters map[simnet.NodeID]bool
+
+	om  *archMetrics
+	otr *obs.Tracer
+}
+
+// archMetrics holds pre-resolved handles for the archival layer.  All
+// keys are node-wide: retrievals are driven by a single service and the
+// per-link traffic is already visible in the simnet layer.
+type archMetrics struct {
+	archives      *obs.Counter
+	fragsStored   *obs.Counter
+	retrievals    *obs.Counter
+	retrievalsOK  *obs.Counter
+	retrievalsErr *obs.Counter
+	fragReqs      *obs.Counter
+	fragReplies   *obs.Counter
+	fragsRecv     *obs.Counter
+	fragsNeeded   *obs.Counter
+	retryRounds   *obs.Counter
+	repairs       *obs.Counter
+	retrievalLat  *obs.Histogram
+}
+
+// Instrument attaches an observability registry and/or tracer.  Metrics
+// count events only — instrumentation never alters the service's
+// behaviour, so instrumented and bare runs take identical trajectories.
+func (s *Service) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	s.otr = tr
+	if reg == nil {
+		s.om = nil
+		return
+	}
+	c := func(name string) *obs.Counter {
+		return reg.Counter(obs.NodeWide, "archive", name)
+	}
+	s.om = &archMetrics{
+		archives:      c("archives"),
+		fragsStored:   c("frags_stored"),
+		retrievals:    c("retrievals"),
+		retrievalsOK:  c("retrievals_ok"),
+		retrievalsErr: c("retrievals_err"),
+		fragReqs:      c("frag_reqs"),
+		fragReplies:   c("frag_replies"),
+		fragsRecv:     c("frags_recv"),
+		fragsNeeded:   c("frags_needed"),
+		retryRounds:   c("retry_rounds"),
+		repairs:       c("repairs"),
+		retrievalLat:  reg.Histogram(obs.NodeWide, "archive", "retrieval_latency_ns"),
+	}
 }
 
 // NewService creates the archival service and hooks the given nodes.
@@ -89,6 +139,10 @@ func (s *Service) Archive(data []byte, cfg Config, domainRank []int) (guid.GUID,
 	}
 	s.where[root] = placement
 	s.cfgs[root] = cfg
+	if s.om != nil {
+		s.om.archives.Inc()
+		s.om.fragsStored.Add(int64(len(frags)))
+	}
 	return root, nil
 }
 
@@ -132,9 +186,18 @@ func (s *Service) LiveFragments(root guid.GUID) int {
 func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadline time.Duration, cb func([]byte, error, time.Duration)) {
 	placement, ok := s.where[root]
 	cfg := s.cfgs[root]
+	if s.om != nil {
+		s.om.retrievals.Inc()
+	}
 	if !ok {
+		if s.om != nil {
+			s.om.retrievalsErr.Inc()
+		}
 		cb(nil, errors.New("archive: unknown archive root"), 0)
 		return
+	}
+	if s.om != nil {
+		s.om.fragsNeeded.Add(int64(cfg.DataShards))
 	}
 	// Any node may request a reconstruction; make sure the requester can
 	// receive fragment replies even if it stores no fragments itself.
@@ -142,8 +205,14 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 		s.requesters[from] = true
 		s.net.Node(from).Handle(func(m simnet.Message) { s.handle(from, m) })
 	}
-	rid := s.nextRid
 	s.nextRid++
+	rid := s.nextRid
+	if s.otr != nil {
+		s.otr.Emit(obs.Event{
+			T: int64(s.net.K.Now()), Node: int(from), Peer: -1,
+			Layer: "archive", Event: "retrieve-begin", ID: rid,
+		})
+	}
 	st := &retrievalState{
 		cfg:     cfg,
 		got:     make(map[int]StoredFragment),
@@ -188,6 +257,9 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 			want = len(cands)
 		}
 		for _, c := range cands[:want] {
+			if s.om != nil {
+				s.om.fragReqs.Inc()
+			}
 			s.net.Send(from, c.nid, KindRequest,
 				requestMsg{Root: root, Index: c.idx, Reply: from, Rid: rid}, 64)
 		}
@@ -206,6 +278,9 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 			}
 			round++
 			s.net.NoteRetry(KindRequest)
+			if s.om != nil {
+				s.om.retryRounds.Inc()
+			}
 			sendRound()
 			next := gap * 2
 			if next > maxGap {
@@ -221,6 +296,15 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 		}
 		st.done = true
 		delete(s.inflight, rid)
+		if s.om != nil {
+			s.om.retrievalsErr.Inc()
+		}
+		if s.otr != nil {
+			s.otr.Emit(obs.Event{
+				T: int64(s.net.K.Now()), Node: int(from), Peer: -1,
+				Layer: "archive", Event: "retrieve-fail", ID: rid,
+			})
+		}
 		st.cb(nil, errors.New("archive: retrieval deadline exceeded"), s.net.K.Now()-st.started)
 	})
 }
@@ -232,6 +316,9 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 		if !ok {
 			return
 		}
+		if s.om != nil {
+			s.om.fragReplies.Inc()
+		}
 		s.net.Send(id, p.Reply, KindFragment, fragmentMsg{Frag: sf, Rid: p.Rid}, sf.WireSize())
 	case fragmentMsg:
 		st, ok := s.inflight[p.Rid]
@@ -240,6 +327,9 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 		}
 		if !p.Frag.Verify() {
 			return // a misbehaving server's garbage is simply discarded
+		}
+		if s.om != nil {
+			s.om.fragsRecv.Inc()
 		}
 		st.got[p.Frag.Index] = p.Frag
 		if len(st.got) < st.cfg.DataShards {
@@ -259,7 +349,18 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 				delete(s.inflight, rid)
 			}
 		}
-		st.cb(data, nil, s.net.K.Now()-st.started)
+		elapsed := s.net.K.Now() - st.started
+		if s.om != nil {
+			s.om.retrievalsOK.Inc()
+			s.om.retrievalLat.ObserveDuration(elapsed)
+		}
+		if s.otr != nil {
+			s.otr.Emit(obs.Event{
+				T: int64(s.net.K.Now()), Node: int(id), Peer: -1,
+				Layer: "archive", Event: "retrieve-done", ID: p.Rid, Bytes: len(data),
+			})
+		}
+		st.cb(data, nil, elapsed)
 	}
 }
 
@@ -310,6 +411,15 @@ func (s *Service) RepairSweep(threshold int, domainRank []int) []guid.GUID {
 			if err := s.stores[placement[i]].Put(f); err == nil {
 				s.where[root][i] = placement[i]
 			}
+		}
+		if s.om != nil {
+			s.om.repairs.Inc()
+		}
+		if s.otr != nil {
+			s.otr.Emit(obs.Event{
+				T: int64(s.net.K.Now()), Node: -1, Peer: -1,
+				Layer: "archive", Event: "repair", ID: root.Uint64(),
+			})
 		}
 		repaired = append(repaired, root)
 	}

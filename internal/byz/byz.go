@@ -32,6 +32,7 @@ import (
 
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/guid"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/simnet"
 )
 
@@ -184,6 +185,45 @@ type Group struct {
 	// RequestTimeout is how long a backup waits for the primary to
 	// pre-prepare a request it saw before voting a view change.
 	RequestTimeout time.Duration
+
+	om  *byzMetrics
+	otr *obs.Tracer
+}
+
+// byzMetrics holds the tier's pre-resolved obs handles.  All counters
+// are tier-wide (NodeWide): groups of different objects sharing a
+// registry aggregate, which is what pool-level dumps want.
+type byzMetrics struct {
+	submits, commits  *obs.Counter
+	clientRetransmits *obs.Counter
+	voteRefreshes     *obs.Counter // prepare/commit re-broadcasts
+	viewVoteTimeouts  *obs.Counter // view-change votes cast on timeout
+	viewInstalls      *obs.Counter
+	reReplies         *obs.Counter // replies re-sent for executed requests
+	executes          *obs.Counter
+	commitLatency     *obs.Histogram
+}
+
+// Instrument attaches observability to the tier: view changes,
+// retransmission counters, commit latency (layer "byz"), and
+// submit/commit/view-install trace events.
+func (g *Group) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	g.otr = tr
+	if reg == nil {
+		g.om = nil
+		return
+	}
+	g.om = &byzMetrics{
+		submits:           reg.Counter(obs.NodeWide, "byz", "submits"),
+		commits:           reg.Counter(obs.NodeWide, "byz", "commits"),
+		clientRetransmits: reg.Counter(obs.NodeWide, "byz", "client_retransmits"),
+		voteRefreshes:     reg.Counter(obs.NodeWide, "byz", "vote_refreshes"),
+		viewVoteTimeouts:  reg.Counter(obs.NodeWide, "byz", "view_vote_timeouts"),
+		viewInstalls:      reg.Counter(obs.NodeWide, "byz", "view_installs"),
+		reReplies:         reg.Counter(obs.NodeWide, "byz", "re_replies"),
+		executes:          reg.Counter(obs.NodeWide, "byz", "executes"),
+		commitLatency:     reg.Histogram(obs.NodeWide, "byz", "commit_latency_ns"),
+	}
 }
 
 // NewGroup builds a primary tier over the given simnet nodes, wiring a
@@ -276,6 +316,15 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 	req.Tag = g.tag
 	cs.sent[req.ID] = g.net.K.Now()
 	cs.callbacks[req.ID] = onDone
+	if g.om != nil {
+		g.om.submits.Inc()
+	}
+	if g.otr != nil {
+		g.otr.Emit(obs.Event{
+			T: int64(g.net.K.Now()), Node: int(client), Peer: -1,
+			Layer: "byz", Event: "submit", ID: req.ID.Uint64(), Bytes: req.Size,
+		})
+	}
 
 	view := g.currentView()
 	primary := int(view) % len(g.replicas)
@@ -297,6 +346,9 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 			return
 		}
 		g.net.NoteRetry(kindRequest)
+		if g.om != nil {
+			g.om.clientRetransmits.Inc()
+		}
 		for i := range g.replicas {
 			g.net.Send(client, g.nodes[i], kindRequest, req, req.Size+CHeader)
 		}
@@ -377,6 +429,16 @@ func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
 				Latency:     g.net.K.Now() - cs.sent[rep.ID],
 				Committed:   true,
 				Certificate: cert,
+			}
+			if g.om != nil {
+				g.om.commits.Inc()
+				g.om.commitLatency.ObserveDuration(res.Latency)
+			}
+			if g.otr != nil {
+				g.otr.Emit(obs.Event{
+					T: int64(g.net.K.Now()), Node: int(client), Peer: rep.From,
+					Layer: "byz", Event: "commit", ID: rep.ID.Uint64(),
+				})
 			}
 			if cb != nil {
 				cb(res)

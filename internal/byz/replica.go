@@ -6,6 +6,7 @@ import (
 
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/guid"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/simnet"
 )
 
@@ -137,6 +138,9 @@ func (r *replica) onRequest(req Request) {
 	if seq, done := r.doneIDs[req.ID]; done {
 		// Already executed: re-send the reply (the first one may have been
 		// dropped; replies are never otherwise retransmitted).
+		if om := r.g.om; om != nil {
+			om.reReplies.Inc()
+		}
 		r.reply(seq, req.ID, req.Client)
 		return
 	}
@@ -298,6 +302,9 @@ func (r *replica) executeReady() {
 		}
 		r.doneIDs[s.req.ID] = seq
 		r.executed = append(r.executed, s.digest)
+		if om := r.g.om; om != nil {
+			om.executes.Inc()
+		}
 		if r.exec != nil && r.fault == Honest {
 			r.exec(seq, s.req)
 		}
@@ -328,6 +335,9 @@ func (r *replica) refreshVotes(seq uint64) {
 	s, ok := r.slots[seq]
 	if !ok || !s.hasReq || s.executed {
 		return
+	}
+	if om := r.g.om; om != nil {
+		om.voteRefreshes.Inc()
 	}
 	if d, voted := s.prepares[r.id]; voted {
 		r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: d, Replica: r.id}, CSmall)
@@ -392,6 +402,9 @@ func (r *replica) requestTimeout(id guid.GUID) {
 		if s2, live := r.slots[seq]; !live || s2.executed {
 			return
 		}
+	}
+	if om := r.g.om; om != nil {
+		om.viewVoteTimeouts.Inc()
 	}
 	nv := r.view + 1
 	r.voteView(nv)
@@ -478,6 +491,15 @@ func (r *replica) installView(nv uint64) {
 		return
 	}
 	r.view = nv
+	if om := r.g.om; om != nil {
+		om.viewInstalls.Inc()
+	}
+	if tr := r.g.otr; tr != nil {
+		tr.Emit(obs.Event{
+			T: int64(r.g.net.K.Now()), Node: int(r.node()), Peer: -1,
+			Layer: "byz", Event: "view-install", ID: nv,
+		})
+	}
 	// Abandon un-pre-prepared slots from the old view; keep committed
 	// state (sequence numbers already executed are final).
 	r.nextSeq = r.execCursor

@@ -16,6 +16,7 @@ import (
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/object"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/plaxton"
 	"oceanstore/internal/replica"
 	"oceanstore/internal/sim"
@@ -86,6 +87,28 @@ type Pool struct {
 	readSvc *readService
 	// router is the lazily started asynchronous mesh router.
 	router *plaxton.Router
+
+	obsReg *obs.Registry
+	obsTr  *obs.Tracer
+}
+
+// Instrument attaches an observability registry and/or tracer to the
+// whole deployment: the network, the archival service, the mesh router
+// (if started), and every current and future object ring.  Passing nil
+// for either disables that sink.  Instrumentation is counting only —
+// it draws no randomness and never alters a run's trajectory.
+func (p *Pool) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	p.obsReg, p.obsTr = reg, tr
+	p.Net.Instrument(reg, tr)
+	p.Arch.Instrument(reg, tr)
+	if p.router != nil {
+		p.router.Instrument(reg, tr)
+	}
+	// Registry handle creation is order-insensitive and Snapshot sorts,
+	// so map iteration order here cannot leak into the output.
+	for _, st := range p.objects {
+		st.ring.Instrument(reg, tr)
+	}
 }
 
 // NewPool builds a deployment with the given seed.
@@ -132,6 +155,9 @@ func (p *Pool) Config() PoolConfig { return p.cfg }
 func (p *Pool) Router() *plaxton.Router {
 	if p.router == nil {
 		p.router = plaxton.NewRouter(p.Mesh, p.Net, plaxton.DefaultRouterConfig())
+		if p.obsReg != nil || p.obsTr != nil {
+			p.router.Instrument(p.obsReg, p.obsTr)
+		}
 	}
 	return p.router
 }
@@ -166,6 +192,9 @@ func (p *Pool) CreateObject(owner *crypt.Signer, name string, initial []byte, ke
 		return guid.Zero, err
 	}
 	ring.CheckWrite = p.ACLs.CheckWrite
+	if p.obsReg != nil || p.obsTr != nil {
+		ring.Instrument(p.obsReg, p.obsTr)
+	}
 	st := &objState{ring: ring, name: name}
 	p.objects[obj] = st
 	// Archive the initial version immediately (§4.5: archival copies of

@@ -23,7 +23,6 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 
 	"oceanstore/internal/guid"
 )
@@ -32,8 +31,9 @@ import (
 type BlockKey [32]byte
 
 // NewBlockKey derives a fresh random key from r.  Simulation runs pass
-// a seeded source so experiments stay reproducible.
-func NewBlockKey(r *rand.Rand) BlockKey {
+// a seeded source (the kernel's *rand.Rand satisfies guid.Entropy) so
+// experiments stay reproducible; there is no global-rand fallback.
+func NewBlockKey(r guid.Entropy) BlockKey {
 	var k BlockKey
 	for i := 0; i < len(k); i += 8 {
 		binary.BigEndian.PutUint64(k[i:], r.Uint64())
@@ -98,7 +98,7 @@ type Signer struct {
 }
 
 // NewSigner creates a key pair from the seeded source r.
-func NewSigner(r *rand.Rand) *Signer {
+func NewSigner(r guid.Entropy) *Signer {
 	seed := make([]byte, ed25519.SeedSize)
 	for i := 0; i < len(seed); i += 8 {
 		binary.BigEndian.PutUint64(seed[i:], r.Uint64())

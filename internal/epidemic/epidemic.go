@@ -20,6 +20,7 @@ import (
 
 	"oceanstore/internal/guid"
 	"oceanstore/internal/object"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/update"
 )
 
@@ -44,6 +45,38 @@ type Replica struct {
 	cacheValid bool
 	// Log records every applied update, commit or abort (§4.4.1).
 	Log *update.Log
+
+	om *epiMetrics
+}
+
+// epiMetrics holds pre-resolved per-replica observability handles.
+type epiMetrics struct {
+	tentative  *obs.Counter
+	commits    *obs.Counter
+	aborts     *obs.Counter
+	dupCommits *obs.Counter
+	replays    *obs.Counter
+}
+
+// Instrument attaches observability counters keyed to the hosting node.
+// Counts already accumulated in the log are back-filled so a replica
+// instrumented after creation still reports its full history.  Counting
+// never changes replica behaviour.
+func (r *Replica) Instrument(reg *obs.Registry, node int) {
+	if reg == nil {
+		r.om = nil
+		return
+	}
+	r.om = &epiMetrics{
+		tentative:  reg.Counter(node, "epidemic", "tentative"),
+		commits:    reg.Counter(node, "epidemic", "commits"),
+		aborts:     reg.Counter(node, "epidemic", "aborts"),
+		dupCommits: reg.Counter(node, "epidemic", "dup_commits"),
+		replays:    reg.Counter(node, "epidemic", "replays"),
+	}
+	c, a := r.Log.Counts()
+	r.om.commits.Add(int64(c))
+	r.om.aborts.Add(int64(a))
 }
 
 // New creates a secondary replica starting from the initial version.
@@ -84,6 +117,9 @@ func (r *Replica) AddTentative(u *update.Update) bool {
 	if u.Seq > r.vv[u.ClientID] {
 		r.vv[u.ClientID] = u.Seq
 	}
+	if r.om != nil {
+		r.om.tentative.Inc()
+	}
 	r.cacheValid = false
 	return true
 }
@@ -93,6 +129,9 @@ func (r *Replica) AddTentative(u *update.Update) bool {
 // present; tentative state is rolled back and replayed on demand.
 func (r *Replica) Commit(u *update.Update, now time.Duration) update.Outcome {
 	if r.inCommitted[u.ID()] {
+		if r.om != nil {
+			r.om.dupCommits.Inc()
+		}
 		// Already serialised here (tree push and anti-entropy can both
 		// deliver the same commit); report the logged outcome.
 		for _, e := range r.Log.Entries() {
@@ -123,6 +162,13 @@ func (r *Replica) Commit(u *update.Update, now time.Duration) update.Outcome {
 	}
 	// Aborts leave base untouched but are still logged (§4.4.1).
 	r.Log.Append(u, out, now)
+	if r.om != nil {
+		if out.Committed {
+			r.om.commits.Inc()
+		} else {
+			r.om.aborts.Inc()
+		}
+	}
 	r.cacheValid = false
 	return out
 }
@@ -137,6 +183,9 @@ func (r *Replica) CommittedState() *object.Version { return r.base }
 func (r *Replica) TentativeState(now time.Duration) *object.Version {
 	if r.cacheValid {
 		return r.cached
+	}
+	if r.om != nil {
+		r.om.replays.Inc()
 	}
 	v := r.base
 	for _, u := range r.tentative {

@@ -103,6 +103,60 @@ func TestCacheStatsAccounting(t *testing.T) {
 	}
 }
 
+// TestCacheStatsProcsConsistent pins the singleflight guarantee: N
+// concurrent decodes spread over M distinct fragment sets are exactly
+// M misses and N-M hits, with no drift between worker counts.  The
+// pre-singleflight cache raced compute-then-put, so the split depended
+// on scheduling and differed between GOMAXPROCS=1 and 4.
+func TestCacheStatsProcsConsistent(t *testing.T) {
+	const goroutines, sets, rounds = 12, 3, 4
+	run := func(procs int) (hits, misses uint64) {
+		withProcs(procs, func() {
+			rs, err := NewReedSolomon(4, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, 8<<10)
+			rand.New(rand.NewSource(4)).Read(data)
+			frags, err := rs.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					set := decodeSet(frags, 4, g%sets)
+					for i := 0; i < rounds; i++ {
+						got, err := rs.Decode(set, len(data))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !bytes.Equal(got, data) {
+							t.Error("decode mismatch")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			hits, misses = rs.CacheStats()
+		})
+		return hits, misses
+	}
+	const total = goroutines * rounds
+	for _, procs := range []int{1, 4} {
+		h, m := run(procs)
+		if m != sets || h != total-sets {
+			t.Fatalf("GOMAXPROCS=%d: stats %d hits/%d misses, want %d/%d",
+				procs, h, m, total-sets, sets)
+		}
+	}
+}
+
 // TestConcurrentSameSetDecode has many goroutines decode the same
 // fragment-index set at once: they may race to insert the same key,
 // but every one must get a correct reconstruction, and afterwards the

@@ -252,6 +252,15 @@ func (rs *ReedSolomon) Decode(frags []Fragment, dataLen int) ([]byte, error) {
 
 // invertedFor returns the inverse of the sub-matrix selecting the given
 // (index-sorted) rows, consulting the LRU cache first.
+//
+// The cache is singleflight: the first goroutine to ask for a key
+// inserts a pending entry (one miss) and inverts outside the lock;
+// concurrent askers for the same key count a hit and wait on the
+// pending entry instead of inverting again.  That keeps Gauss-Jordan
+// off the lock AND makes CacheStats deterministic — N concurrent
+// decodes of the same fragment set are exactly 1 miss + N-1 hits at
+// any GOMAXPROCS, where the old compute-then-put race made the split
+// depend on scheduling.
 func (rs *ReedSolomon) invertedFor(rows []Fragment) (matrix, error) {
 	var kbuf [256]byte
 	for i, fr := range rows {
@@ -259,25 +268,35 @@ func (rs *ReedSolomon) invertedFor(rows []Fragment) (matrix, error) {
 	}
 	key := kbuf[:len(rows)]
 	rs.invMu.Lock()
-	if m, ok := rs.inv.get(key); ok {
-		rs.invMu.Unlock()
-		return m, nil
-	}
+	e, owner := rs.inv.acquire(key)
 	rs.invMu.Unlock()
-	// Invert outside the lock: Gauss-Jordan is the expensive part, and
-	// two goroutines inverting the same key just race to an identical
-	// answer.
+	if !owner {
+		// Hit (possibly on a pending entry): wait for the owner.  The
+		// channel close publishes e.inv/e.err safely.
+		<-e.ready
+		if e.err != nil {
+			return matrix{}, e.err
+		}
+		return e.inv, nil
+	}
+	// We own the pending entry: invert outside the lock, then publish.
 	sub := newMatrix(rs.n, rs.n)
 	for i, fr := range rows {
 		copy(sub.row(i), rs.enc.row(fr.Index))
 	}
 	inv, ok := sub.invert()
-	if !ok {
-		return matrix{}, errors.New("erasure: fragment sub-matrix singular")
-	}
 	rs.invMu.Lock()
-	rs.inv.put(key, inv)
+	if ok {
+		e.inv, e.done = inv, true
+	} else {
+		e.err = errors.New("erasure: fragment sub-matrix singular")
+		rs.inv.remove(e)
+	}
+	close(e.ready)
 	rs.invMu.Unlock()
+	if !ok {
+		return matrix{}, e.err
+	}
 	return inv, nil
 }
 
@@ -295,7 +314,9 @@ func (rs *ReedSolomon) CacheStats() (hits, misses uint64) {
 const invCacheCap = 32
 
 // invCache is a tiny intrusive-list LRU from fragment-index set to
-// inverted sub-matrix.  Callers hold rs.invMu.
+// inverted sub-matrix, with singleflight pending entries.  Callers
+// hold rs.invMu for every method; waiters synchronise on an entry's
+// ready channel, which its owner closes after publishing inv or err.
 type invCache struct {
 	cap          int
 	m            map[string]*invEntry
@@ -306,6 +327,9 @@ type invCache struct {
 type invEntry struct {
 	key        string
 	inv        matrix
+	err        error
+	ready      chan struct{} // closed once inv or err is published
+	done       bool          // inv is valid; pending entries are not evictable
 	prev, next *invEntry
 }
 
@@ -314,31 +338,46 @@ func (c *invCache) init(capacity int) {
 	c.m = make(map[string]*invEntry, capacity)
 }
 
-func (c *invCache) get(key []byte) (matrix, bool) {
-	e, ok := c.m[string(key)] // no allocation: map lookup special case
-	if !ok {
-		c.misses++
-		return matrix{}, false
-	}
-	c.hits++
-	c.moveToFront(e)
-	return e.inv, true
-}
-
-func (c *invCache) put(key []byte, inv matrix) {
-	if e, ok := c.m[string(key)]; ok {
-		e.inv = inv // lost the inversion race; keep the newer answer
+// acquire looks the key up, counting a hit (existing entry, pending or
+// done) or a miss (new pending entry inserted, owner=true).  The owner
+// must publish inv or err, close ready, and on error call remove.
+func (c *invCache) acquire(key []byte) (e *invEntry, owner bool) {
+	if e, ok := c.m[string(key)]; ok { // no allocation: map lookup special case
+		c.hits++
 		c.moveToFront(e)
-		return
+		return e, false
 	}
+	c.misses++
 	if len(c.m) >= c.cap {
-		evict := c.tail
-		c.unlink(evict)
-		delete(c.m, evict.key)
+		c.evictOne()
 	}
-	e := &invEntry{key: string(key), inv: inv}
+	e = &invEntry{key: string(key), ready: make(chan struct{})}
 	c.m[e.key] = e
 	c.pushFront(e)
+	return e, true
+}
+
+// evictOne discards the least-recently-used completed entry.  Pending
+// entries are skipped: their owner and waiters hold references, and
+// evicting one would let a second owner start the same inversion.  If
+// every entry is pending the cache briefly exceeds its cap instead.
+func (c *invCache) evictOne() {
+	for e := c.tail; e != nil; e = e.prev {
+		if e.done {
+			c.unlink(e)
+			delete(c.m, e.key)
+			return
+		}
+	}
+}
+
+// remove takes a failed pending entry out of the cache so the error is
+// not sticky (waiters already queued still see it via the entry).
+func (c *invCache) remove(e *invEntry) {
+	if c.m[e.key] == e {
+		c.unlink(e)
+		delete(c.m, e.key)
+	}
 }
 
 func (c *invCache) moveToFront(e *invEntry) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"oceanstore/internal/guid"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/simnet"
 )
 
@@ -64,10 +65,21 @@ const (
 	modeLocate
 )
 
+func (m routeMode) label() string {
+	switch m {
+	case modePublish:
+		return "publish"
+	case modeLocate:
+		return "locate"
+	}
+	return "route"
+}
+
 type routeState struct {
 	target   guid.GUID
 	object   guid.GUID // unsalted GUID (pointer key for publish/locate)
 	mode     routeMode
+	rid      uint64
 	cur      int
 	level    int
 	attempt  int
@@ -75,6 +87,7 @@ type routeState struct {
 	path     []int
 	distance float64
 	done     bool
+	started  time.Duration
 	deadline time.Duration
 	onRoute  func(RouteResult, error)
 	onLocate func(LocateResult, error)
@@ -90,6 +103,35 @@ type Router struct {
 	nextID uint64
 	routes map[uint64]*routeState
 	hooked map[int]bool
+
+	om  *routerMetrics
+	otr *obs.Tracer
+}
+
+// routerMetrics holds the router's pre-resolved obs handles.
+type routerMetrics struct {
+	routesOK, routesFail *obs.Counter
+	hopRetries           *obs.Counter   // failover/backoff re-sends
+	hops                 *obs.Histogram // hop count per successful route
+	latency              *obs.Histogram // virtual ns per successful route
+}
+
+// Instrument attaches observability: route outcome counters, a hop
+// histogram, a latency histogram, failover counters (layer "plaxton"),
+// and per-route trace events carrying the hop path.
+func (r *Router) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	r.otr = tr
+	if reg == nil {
+		r.om = nil
+		return
+	}
+	r.om = &routerMetrics{
+		routesOK:   reg.Counter(obs.NodeWide, "plaxton", "routes_ok"),
+		routesFail: reg.Counter(obs.NodeWide, "plaxton", "routes_fail"),
+		hopRetries: reg.Counter(obs.NodeWide, "plaxton", "hop_retries"),
+		hops:       reg.Histogram(obs.NodeWide, "plaxton", "route_hops"),
+		latency:    reg.Histogram(obs.NodeWide, "plaxton", "route_latency_ns"),
+	}
 }
 
 // NewRouter builds a router over the mesh and network.
@@ -200,9 +242,17 @@ func (r *Router) begin(st *routeState, start int, deadline time.Duration) {
 	rid := r.nextID
 	r.nextID++
 	r.routes[rid] = st
+	st.rid = rid
 	st.cur = start
 	st.path = []int{start}
+	st.started = r.net.K.Now()
 	st.deadline = r.net.K.Now() + deadline
+	if r.otr != nil {
+		r.otr.Emit(obs.Event{
+			T: int64(r.net.K.Now()), Node: start, Peer: -1,
+			Layer: "plaxton", Event: "route-begin", ID: rid, Kind: st.mode.label(),
+		})
+	}
 	// The hard deadline: a route either finishes or errors by here.
 	r.net.K.After(deadline, func() {
 		if !st.done {
@@ -271,6 +321,15 @@ func (r *Router) attempt(rid uint64, st *routeState) {
 	}
 	if st.attempt > 0 {
 		r.net.NoteRetry(KindHop)
+		if r.om != nil {
+			r.om.hopRetries.Inc()
+		}
+		if r.otr != nil {
+			r.otr.Emit(obs.Event{
+				T: int64(r.net.K.Now()), Node: st.cur, Peer: next,
+				Layer: "plaxton", Event: "hop-retry", ID: st.rid, Kind: st.mode.label(),
+			})
+		}
 	}
 	st.gen++
 	gen := st.gen
@@ -314,6 +373,18 @@ func (r *Router) complete(rid uint64, st *routeState, holder int) {
 		return
 	}
 	st.done = true
+	if r.om != nil {
+		r.om.routesOK.Inc()
+		r.om.hops.Observe(int64(len(st.path) - 1))
+		r.om.latency.ObserveDuration(r.net.K.Now() - st.started)
+	}
+	if r.otr != nil {
+		r.otr.Emit(obs.Event{
+			T: int64(r.net.K.Now()), Node: st.cur, Peer: holder,
+			Layer: "plaxton", Event: "route-done", ID: rid, Kind: st.mode.label(),
+			Path: append([]int(nil), st.path...),
+		})
+	}
 	switch st.mode {
 	case modeLocate:
 		if holder < 0 {
@@ -345,6 +416,16 @@ func (r *Router) finish(st *routeState, err error) {
 		return
 	}
 	st.done = true
+	if r.om != nil {
+		r.om.routesFail.Inc()
+	}
+	if r.otr != nil {
+		r.otr.Emit(obs.Event{
+			T: int64(r.net.K.Now()), Node: st.cur, Peer: -1,
+			Layer: "plaxton", Event: "route-fail", ID: st.rid, Kind: st.mode.label(),
+			Path: append([]int(nil), st.path...),
+		})
+	}
 	if st.mode == modeLocate {
 		if st.onLocate != nil {
 			st.onLocate(LocateResult{}, err)

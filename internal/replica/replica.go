@@ -26,6 +26,7 @@ import (
 	"oceanstore/internal/epidemic"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/object"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/simnet"
 	"oceanstore/internal/update"
 )
@@ -102,6 +103,38 @@ type Ring struct {
 	// CheckWrite, when set, is the server-side writer-restriction gate
 	// (package acl); updates failing it are dropped before agreement.
 	CheckWrite func(*update.Update) error
+
+	obsReg *obs.Registry
+	obsTr  *obs.Tracer
+	om     *ringMetrics
+}
+
+// ringMetrics covers the ring-level update path: epidemic rounds and
+// the volume they move (per-replica commit/abort splits live on the
+// epidemic layer, agreement on byz).
+type ringMetrics struct {
+	gossipRounds *obs.Counter
+	gossipMoved  *obs.Counter
+}
+
+// Instrument attaches observability to the ring and everything under
+// it: the Byzantine tier, the authoritative primary state, and every
+// current and future secondary.  Counting never alters behaviour.
+func (r *Ring) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	r.obsReg, r.obsTr = reg, tr
+	r.group.Instrument(reg, tr)
+	r.primaryState.Instrument(reg, int(r.primaryNodes[0]))
+	for _, s := range r.Secondaries() {
+		s.Rep.Instrument(reg, int(s.Node))
+	}
+	if reg == nil {
+		r.om = nil
+		return
+	}
+	r.om = &ringMetrics{
+		gossipRounds: reg.Counter(obs.NodeWide, "replica", "gossip_rounds"),
+		gossipMoved:  reg.Counter(obs.NodeWide, "replica", "gossip_moved"),
+	}
 }
 
 // NewRing builds the primary tier on primaryNodes and wires archival to
@@ -165,6 +198,9 @@ func (r *Ring) AddSecondary(node simnet.NodeID) (*Secondary, error) {
 		return nil, err
 	}
 	sec := &Secondary{Node: node, Rep: epidemic.New(r.primaryState.CommittedState())}
+	if r.obsReg != nil {
+		sec.Rep.Instrument(r.obsReg, int(node))
+	}
 	// Catch up with already-committed history.
 	for _, e := range r.primaryState.Log.Entries() {
 		sec.Rep.Commit(e.Update, r.net.K.Now())
@@ -389,6 +425,9 @@ func (r *Ring) gossipRound() {
 	if len(r.secondaries) == 0 {
 		return
 	}
+	if r.om != nil {
+		r.om.gossipRounds.Inc()
+	}
 	nodes := make([]*Secondary, 0, len(r.secondaries))
 	for _, s := range r.secondaries {
 		nodes = append(nodes, s)
@@ -425,6 +464,9 @@ func (r *Ring) handleGossip(at simnet.NodeID, req gossipReq) {
 		peer = r.primaryState // a primary initiated the exchange
 	}
 	moved := epidemic.AntiEntropy(peer, target.Rep, r.net.K.Now())
+	if r.om != nil {
+		r.om.gossipMoved.Add(int64(moved))
+	}
 	if moved > 0 {
 		// The reply carries the reconciled updates; estimate ~512 B each
 		// for accounting purposes.

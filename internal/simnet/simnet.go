@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"oceanstore/internal/guid"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/sim"
 )
 
@@ -35,11 +36,15 @@ const None NodeID = -1
 
 // Message is a unit of simulated communication.  Size is the estimated
 // wire size in bytes; Kind tags the protocol for per-class accounting.
+// ID is assigned by Send (1, 2, 3, ... in send order) so traces can
+// correlate a send with its delivery or drop; messages handed straight
+// to Deliver keep ID 0.
 type Message struct {
 	From, To NodeID
 	Kind     string
 	Payload  any
 	Size     int
+	ID       uint64
 }
 
 // Handler consumes messages delivered to a node.
@@ -149,6 +154,73 @@ type Network struct {
 	plan      FaultPlan
 	trace     func(TraceEvent)
 	liveness  []func(id NodeID, up bool)
+
+	// Observability (Instrument): om holds pre-resolved metric handles,
+	// otr the opt-in trace ring.  Both nil in uninstrumented runs, so
+	// the send path pays two nil checks.
+	om        *netMetrics
+	otr       *obs.Tracer
+	nextMsgID uint64
+}
+
+// netMetrics caches the network's obs handles so the per-message path
+// never does a map lookup for the aggregate counters.  Per-link
+// counters are created lazily on first traffic over the link.
+type netMetrics struct {
+	reg                                                          *obs.Registry
+	sent, delivered, bytes                                       *obs.Counter
+	dropCrash, dropPartition, dropFault, dropLoss, dropNoHandler *obs.Counter
+	crashes, recoveries, retries                                 *obs.Counter
+	links                                                        map[[2]NodeID]*linkMetrics
+	kindRetries                                                  map[string]*obs.Counter
+}
+
+type linkMetrics struct {
+	bytes, drops *obs.Counter
+}
+
+// link resolves (lazily creating) the per-link counters for from→to.
+// Names encode the destination, so Key.Node carries the source: the
+// pair answers "bytes/drops per link" (§5's per-flow observation).
+func (m *netMetrics) link(from, to NodeID) *linkMetrics {
+	k := [2]NodeID{from, to}
+	lm, ok := m.links[k]
+	if !ok {
+		lm = &linkMetrics{
+			bytes: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_bytes", to)),
+			drops: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_drops", to)),
+		}
+		m.links[k] = lm
+	}
+	return lm
+}
+
+// Instrument attaches an obs registry and/or tracer to the network.
+// Pass nil for either to disable that half; call again to re-point.
+// Instrumentation never alters behaviour — no RNG draws, no events —
+// so instrumented and bare runs take identical trajectories.
+func (n *Network) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	n.otr = tr
+	if reg == nil {
+		n.om = nil
+		return
+	}
+	n.om = &netMetrics{
+		reg:           reg,
+		sent:          reg.Counter(obs.NodeWide, "simnet", "msgs_sent"),
+		delivered:     reg.Counter(obs.NodeWide, "simnet", "msgs_delivered"),
+		bytes:         reg.Counter(obs.NodeWide, "simnet", "bytes_sent"),
+		dropCrash:     reg.Counter(obs.NodeWide, "simnet", "drop_crash"),
+		dropPartition: reg.Counter(obs.NodeWide, "simnet", "drop_partition"),
+		dropFault:     reg.Counter(obs.NodeWide, "simnet", "drop_fault"),
+		dropLoss:      reg.Counter(obs.NodeWide, "simnet", "drop_loss"),
+		dropNoHandler: reg.Counter(obs.NodeWide, "simnet", "drop_nohandler"),
+		crashes:       reg.Counter(obs.NodeWide, "simnet", "crashes"),
+		recoveries:    reg.Counter(obs.NodeWide, "simnet", "recoveries"),
+		retries:       reg.Counter(obs.NodeWide, "simnet", "retries"),
+		links:         make(map[[2]NodeID]*linkMetrics),
+		kindRetries:   make(map[string]*obs.Counter),
+	}
 }
 
 // New creates an empty network over kernel k.
@@ -221,6 +293,41 @@ func (n *Network) OnLiveness(fn func(id NodeID, up bool)) {
 func (n *Network) emit(ev string, m Message) {
 	if n.trace != nil {
 		n.trace(TraceEvent{Time: n.K.Now(), From: m.From, To: m.To, Kind: m.Kind, Size: m.Size, Event: ev})
+	}
+	if n.otr != nil {
+		n.otr.Emit(obs.Event{
+			T: int64(n.K.Now()), Node: int(m.From), Peer: int(m.To),
+			Layer: "simnet", Event: ev, ID: m.ID, Kind: m.Kind, Bytes: m.Size,
+		})
+	}
+	if om := n.om; om != nil {
+		switch ev {
+		case "send":
+			om.sent.Inc()
+			om.bytes.Add(int64(m.Size))
+			om.link(m.From, m.To).bytes.Add(int64(m.Size))
+		case "deliver":
+			om.delivered.Inc()
+		case "drop-crash":
+			om.dropCrash.Inc()
+			om.link(m.From, m.To).drops.Inc()
+		case "drop-partition":
+			om.dropPartition.Inc()
+			om.link(m.From, m.To).drops.Inc()
+		case "drop-fault":
+			om.dropFault.Inc()
+			om.link(m.From, m.To).drops.Inc()
+		case "drop-loss":
+			om.dropLoss.Inc()
+			om.link(m.From, m.To).drops.Inc()
+		case "drop-nohandler":
+			om.dropNoHandler.Inc()
+			om.link(m.From, m.To).drops.Inc()
+		case "crash":
+			om.crashes.Inc()
+		case "recover":
+			om.recoveries.Inc()
+		}
 	}
 }
 
@@ -302,6 +409,15 @@ func (n *Network) ClearPartitions() { n.partition = make(map[NodeID]int) }
 func (n *Network) NoteRetry(kind string) {
 	n.stats.Retries++
 	n.stats.RetriesByKind[kind]++
+	if om := n.om; om != nil {
+		om.retries.Inc()
+		c, ok := om.kindRetries[kind]
+		if !ok {
+			c = om.reg.Counter(obs.NodeWide, "simnet", "retries_"+kind)
+			om.kindRetries[kind] = c
+		}
+		c.Inc()
+	}
 }
 
 // Send routes one message.  It accounts for the bytes regardless of
@@ -312,7 +428,8 @@ func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
 	if from < 0 || int(from) >= len(n.nodes) || to < 0 || int(to) >= len(n.nodes) {
 		panic(fmt.Sprintf("simnet: send %d->%d out of range", from, to))
 	}
-	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
+	n.nextMsgID++
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size, ID: n.nextMsgID}
 	src := n.nodes[from]
 	if src.Down {
 		// A crashed node sends nothing and pays nothing, but the loss is

@@ -63,6 +63,19 @@ func (l *Log) Commits() []LogEntry {
 	return out
 }
 
+// Counts tallies committed and aborted entries — the split the
+// observability layer reports per replica.
+func (l *Log) Counts() (commits, aborts int) {
+	for _, e := range l.entries {
+		if e.Outcome.Committed {
+			commits++
+		} else {
+			aborts++
+		}
+	}
+	return commits, aborts
+}
+
 // ---- Convenience constructors for common update shapes ----
 
 // NewUnconditional builds an update whose single guard always fires.
