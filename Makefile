@@ -7,9 +7,9 @@ GO ?= go
 PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
 	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate cover cover-write soak-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,29 @@ bench:
 # compile or panic, without paying measurement time.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Coverage ratchet: per-package floors live in cover/FLOORS.txt; the
+# gate fails if any package regresses below its floor.  After raising
+# coverage, move the floors up with `make cover-write`.
+cover:
+	$(GO) test -cover ./... | $(GO) run ./cmd/coverfloor -floors cover/FLOORS.txt
+
+cover-write:
+	$(GO) test -cover ./... | $(GO) run ./cmd/coverfloor -floors cover/FLOORS.txt -write
+
+# Determinism gate for the soak engine: the same seeded soak must emit
+# byte-identical metrics and summary at GOMAXPROCS 1 and 4.  Sized to
+# finish in seconds; the full-scale run is
+#   osexp -metrics soak.txt soak 1 -nodes 10000 -ops 1000000
+soak-smoke:
+	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
+	tmp=$$(mktemp -d); \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 512 -ops 10000 > $$tmp/out1.txt || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt soak 1 -nodes 512 -ops 10000 > $$tmp/out4.txt || exit 1; \
+	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "soak-smoke: metrics differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "soak-smoke: summaries differ across GOMAXPROCS"; exit 1; fi; \
+	rm -rf $$tmp; \
+	echo "soak-smoke: byte-identical at GOMAXPROCS 1 and 4"
 
 # Full benchmark pass rendered as JSON against the checked-in baseline.
 # Refresh after performance work: `make bench-json` then commit the

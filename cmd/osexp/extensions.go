@@ -12,7 +12,6 @@ import (
 	"oceanstore/internal/guid"
 	"oceanstore/internal/sim"
 	"oceanstore/internal/simnet"
-	"oceanstore/internal/workload"
 )
 
 // runTwoTier shows §4.3's combined mechanism on a live pool: the
@@ -101,81 +100,4 @@ func runFanout(w io.Writer, seed int64, _ *obsink) {
 	}
 	fmt.Fprintln(w, "\nablation: higher fanout flattens the tree (faster leaves) but concentrates")
 	fmt.Fprintln(w, "send load at inner nodes — the tradeoff dissemination trees balance (§4.4.3)")
-}
-
-// runSoak drives a Zipf read/write mix over a maintained pool with
-// background churn — the closest thing to the paper's envisioned
-// steady-state operation.
-func runSoak(w io.Writer, seed int64, ob *obsink) {
-	cfg := core.DefaultPoolConfig()
-	cfg.Nodes = 48
-	cfg.Ring.Archive = archive.Config{DataShards: 4, TotalFragments: 8}
-	p := core.NewPool(seed, cfg)
-	p.Instrument(ob.registry(), ob.tracer())
-	stop := p.StartMaintenance(core.DefaultMaintenanceConfig())
-	defer stop()
-
-	owner := p.NewClient(47, crypt.NewSigner(p.K.Rand()))
-	var objs []guid.GUID
-	for i := 0; i < 10; i++ {
-		obj, err := owner.Create(fmt.Sprintf("soak-%d", i), []byte("."))
-		if err != nil {
-			panic(err)
-		}
-		objs = append(objs, obj)
-		for r := 0; r < 2; r++ {
-			p.AddReplica(obj, simnet.NodeID(10+i*2+r))
-		}
-	}
-	ops := workload.Stream(workload.MixConfig{
-		Objects:       objs,
-		ZipfS:         1.0,
-		WriteFraction: 0.2,
-		MeanWriteSize: 64,
-		Interarrival:  2 * time.Second,
-	}, 200, p.K.Rand())
-
-	sess := owner.NewSession(core.ReadYourWrites | core.MonotonicReads)
-	reads, writes, readErrs := 0, 0, 0
-	var cursor time.Duration
-	for i, op := range ops {
-		p.Run(op.At - cursor)
-		cursor = op.At
-		if op.Write {
-			payload := make([]byte, op.Size)
-			if _, err := sess.Append(op.Object, payload); err == nil {
-				writes++
-			}
-		} else {
-			if _, err := sess.Read(op.Object); err == nil {
-				reads++
-			} else {
-				readErrs++
-			}
-		}
-		// Background churn: a node bounces every 50 ops.
-		if i%50 == 25 {
-			victim := simnet.NodeID(30 + (i/50)%8)
-			p.Net.Node(victim).Down = true
-		}
-		if i%50 == 49 {
-			victim := simnet.NodeID(30 + (i/50)%8)
-			p.Net.Node(victim).Down = false
-		}
-	}
-	p.Run(5 * time.Minute) // drain
-	fmt.Fprintf(w, "soak complete: %d reads (%d errors), %d writes over %v virtual time\n",
-		reads, readErrs, writes, cursor)
-	st := p.Net.Stats()
-	fmt.Fprintf(w, "traffic: %d msgs, %.1f MB; drops: %d\n",
-		st.MessagesSent, float64(st.BytesSent)/1e6, st.MessagesDropped)
-	committed := 0
-	for _, obj := range objs {
-		ring, _ := p.Ring(obj)
-		committed += len(ring.PrimaryState().Log.Commits())
-	}
-	fmt.Fprintf(w, "committed updates across objects: %d/%d\n", committed, writes)
-	if readErrs > 0 {
-		fmt.Fprintln(w, "WARNING: read errors under churn")
-	}
 }

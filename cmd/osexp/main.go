@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"oceanstore/internal/obs"
 	"oceanstore/internal/par"
@@ -265,16 +266,27 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	name := args[0]
 	seed := int64(1)
-	if len(args) > 1 {
-		s, err := strconv.ParseInt(args[1], 10, 64)
+	rest := args[1:]
+	// The optional positional seed comes before any experiment-specific
+	// flags: `osexp soak 7 -nodes 10000`.
+	if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		s, err := strconv.ParseInt(rest[0], 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", args[1], err)
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", rest[0], err)
 			os.Exit(2)
 		}
 		seed = s
+		rest = rest[1:]
 	}
-	name := args[0]
+	if len(rest) > 0 {
+		if name != "soak" {
+			fmt.Fprintf(os.Stderr, "unexpected arguments %v (only soak takes experiment flags)\n", rest)
+			os.Exit(2)
+		}
+		soakFlagSet().Parse(rest)
+	}
 	var list []experiment
 	if name == "all" {
 		list = experiments
@@ -305,7 +317,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: osexp [-seeds N] [-metrics FILE] [-trace FILE] <experiment> [seed]")
+	fmt.Fprintln(os.Stderr, "usage: osexp [-seeds N] [-metrics FILE] [-trace FILE] <experiment> [seed] [experiment flags]")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.name, e.desc)
@@ -315,4 +327,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  -seeds N       run over seeds seed..seed+N-1 in parallel, with an aggregate row")
 	fmt.Fprintln(os.Stderr, "  -metrics FILE  dump deterministic counters/histograms as Benchmark lines")
 	fmt.Fprintln(os.Stderr, "  -trace FILE    dump per-message trace events as JSONL (instrumented experiments)")
+	fmt.Fprintln(os.Stderr, "soak flags (after the seed): -nodes -ops -clients -objects -write -create -zipf")
+	fmt.Fprintln(os.Stderr, "  -size -think -openloop -arrival -maxinflight -churn -downfor -grow -growat")
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"oceanstore/internal/core"
+	"oceanstore/internal/workload"
+)
+
+// soakOpts are the soak experiment's knobs.  The struct initializers
+// are the defaults; soakFlagSet echoes them so `osexp all` (which
+// never parses soak flags) and `osexp soak` agree.  Defaults are sized
+// so the full experiment suite stays fast; a heavy run looks like
+//
+//	osexp -metrics soak.txt soak 1 -nodes 10000 -ops 1000000
+var soakOpts = struct {
+	nodes    int
+	ops      int
+	clients  int
+	objects  int
+	write    float64
+	create   float64
+	zipf     float64
+	size     int
+	think    time.Duration
+	open     bool
+	arrival  time.Duration
+	maxInfl  int
+	churn    time.Duration
+	downFor  time.Duration
+	grow     int
+	growAt   time.Duration
+}{
+	nodes:   256,
+	ops:     4000,
+	write:   0.3,
+	create:  0.01,
+	zipf:    1.1,
+	size:    256,
+	think:   200 * time.Millisecond,
+	arrival: 50 * time.Millisecond,
+	churn:   time.Minute,
+	downFor: 20 * time.Second,
+}
+
+// soakFlagSet builds the flag set parsed from the arguments after
+// `soak [seed]` on the command line.
+func soakFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	o := &soakOpts
+	fs.IntVar(&o.nodes, "nodes", o.nodes, "server count")
+	fs.IntVar(&o.ops, "ops", o.ops, "total operation budget")
+	fs.IntVar(&o.clients, "clients", o.clients, "virtual clients (0 = scale with nodes)")
+	fs.IntVar(&o.objects, "objects", o.objects, "pre-created objects (0 = scale with nodes)")
+	fs.Float64Var(&o.write, "write", o.write, "write fraction of the mix")
+	fs.Float64Var(&o.create, "create", o.create, "create fraction of the mix")
+	fs.Float64Var(&o.zipf, "zipf", o.zipf, "Zipf skew for object popularity")
+	fs.IntVar(&o.size, "size", o.size, "mean write payload bytes (exponential)")
+	fs.DurationVar(&o.think, "think", o.think, "mean per-client think time (closed loop)")
+	fs.BoolVar(&o.open, "openloop", o.open, "open-loop arrivals instead of closed-loop")
+	fs.DurationVar(&o.arrival, "arrival", o.arrival, "mean interarrival (open loop)")
+	fs.IntVar(&o.maxInfl, "maxinflight", o.maxInfl, "backpressure cap on unresolved writes (0 = scale with nodes)")
+	fs.DurationVar(&o.churn, "churn", o.churn, "node bounce period (0 disables churn)")
+	fs.DurationVar(&o.downFor, "downfor", o.downFor, "how long a bounced node stays down")
+	fs.IntVar(&o.grow, "grow", o.grow, "nodes to add mid-run (0 disables growth)")
+	fs.DurationVar(&o.growAt, "growat", o.growAt, "virtual time of the growth burst")
+	return fs
+}
+
+// runSoak drives the closed/open-loop traffic engine over a soak
+// world: a meshless batch-delivery pool under churn, with reads,
+// full-path writes, and object creates drawn from a Zipf mix.
+func runSoak(w io.Writer, seed int64, ob *obsink) {
+	o := soakOpts
+	cfg := core.DefaultSoakConfig(o.nodes)
+	if o.clients > 0 {
+		cfg.Clients = o.clients
+	}
+	if o.objects > 0 {
+		cfg.Objects = o.objects
+	}
+	if o.maxInfl > 0 {
+		cfg.MaxInFlight = o.maxInfl
+	}
+	world, err := core.NewSoakWorld(seed, cfg)
+	if err != nil {
+		panic(err)
+	}
+	world.Pool.Instrument(ob.registry(), ob.tracer())
+	eng := workload.NewEngine(world.Pool.K, workload.EngineConfig{
+		Clients:       cfg.Clients,
+		Ops:           o.ops,
+		Mix:           workload.Mix{WriteFrac: o.write, CreateFrac: o.create},
+		Objects:       cfg.Objects,
+		ZipfS:         o.zipf,
+		MeanWriteSize: o.size,
+		ClosedLoop:    !o.open,
+		MeanThink:     o.think,
+		MeanArrival:   o.arrival,
+		RetryBackoff:  time.Second,
+	}, world)
+	eng.Instrument(ob.registry())
+	if o.churn > 0 {
+		world.StartChurn(o.churn, o.downFor)
+	}
+	if o.grow > 0 {
+		world.GrowAt(o.growAt, o.grow)
+	}
+	eng.Start()
+	world.Pool.K.RunWhile(func() bool { return !eng.Done() })
+
+	st := eng.Stats()
+	loop := "closed"
+	if o.open {
+		loop = "open"
+	}
+	fmt.Fprintf(w, "soak: %d nodes, %d clients, %d objects -> %d, %s loop over %v virtual time\n",
+		world.Pool.Net.Len(), cfg.Clients, cfg.Objects, st.Confirmed, loop, world.Pool.K.Now())
+	fmt.Fprintf(w, "ops: %d issued, %d ok, %d failed; backpressure: %d shed, %d retries; %d creates\n",
+		st.Issued, st.OK, st.Failed, st.Shed, st.Retries, st.Creates)
+	lat := eng.Latency()
+	fmt.Fprintf(w, "latency: p50 %v  p99 %v  mean %v\n",
+		time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)),
+		time.Duration(lat.Mean()))
+	ns := world.Pool.Net.Stats()
+	fmt.Fprintf(w, "traffic: %d msgs, %.1f MB; drops: %d (crash %d, partition %d, loss %d)\n",
+		ns.MessagesSent, float64(ns.BytesSent)/1e6, ns.MessagesDropped,
+		ns.DroppedByCrash, ns.DroppedByPartition, ns.DroppedByLoss)
+	committed := 0
+	for _, obj := range world.Objects() {
+		if ring, ok := world.Pool.Ring(obj); ok {
+			committed += len(ring.PrimaryState().Log.Commits())
+		}
+	}
+	fmt.Fprintf(w, "committed updates across objects: %d\n", committed)
+	if st.InFlight != 0 {
+		fmt.Fprintf(w, "WARNING: %d operations still in flight after drain\n", st.InFlight)
+	}
+}

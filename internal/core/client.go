@@ -89,8 +89,16 @@ type Session struct {
 	c      *Client
 	g      Guarantees
 	readVV map[guid.GUID]map[guid.GUID]uint64 // per object: observed version vector
-	// ownWrites tracks this session's writes per object for RYW.
-	ownWrites map[guid.GUID][]update.UpdateID
+	// pending tracks this session's unresolved writes per object for
+	// RYW; resolved writes collapse into needCommitted so a long
+	// session's read check stays O(in-flight), not O(all writes ever).
+	pending map[guid.GUID]map[update.UpdateID]bool
+	// needCommitted is the committed-log length a replica must have
+	// reached to contain every one of this session's resolved writes.
+	// Sound because committed logs are prefixes of one final order: any
+	// replica at length ≥ n holds the same prefix the primary had when
+	// the session's write resolved at position ≤ n.
+	needCommitted map[guid.GUID]int
 	// onCommit/onAbort are the callback registry of §4.6.
 	onCommit []func(obj guid.GUID, id update.UpdateID)
 	onAbort  []func(obj guid.GUID, id update.UpdateID)
@@ -109,12 +117,13 @@ type Session struct {
 // NewSession opens a session with the given guarantees.
 func (c *Client) NewSession(g Guarantees) *Session {
 	return &Session{
-		c:         c,
-		g:         g,
-		readVV:    make(map[guid.GUID]map[guid.GUID]uint64),
-		ownWrites: make(map[guid.GUID][]update.UpdateID),
-		inflight:  make(map[guid.GUID]bool),
-		queued:    make(map[guid.GUID][]*update.Update),
+		c:             c,
+		g:             g,
+		readVV:        make(map[guid.GUID]map[guid.GUID]uint64),
+		pending:       make(map[guid.GUID]map[update.UpdateID]bool),
+		needCommitted: make(map[guid.GUID]int),
+		inflight:      make(map[guid.GUID]bool),
+		queued:        make(map[guid.GUID][]*update.Update),
 	}
 }
 
@@ -163,7 +172,13 @@ func (s *Session) pickReplica(obj guid.GUID) (*epidemic.Replica, error) {
 // acceptable checks a replica against RYW and MonotonicReads.
 func (s *Session) acceptable(obj guid.GUID, r *epidemic.Replica) bool {
 	if s.g&ReadYourWrites != 0 {
-		for _, id := range s.ownWrites[obj] {
+		// Resolved writes: one committed-prefix length comparison.
+		if r.CommittedLen() < s.needCommitted[obj] {
+			return false
+		}
+		// In-flight writes: the replica must have at least a tentative
+		// copy of each (pure AND over the set — map order cannot leak).
+		for id := range s.pending[obj] {
 			if !r.Seen(id) {
 				return false
 			}
@@ -199,7 +214,11 @@ func (s *Session) Read(obj guid.GUID) ([]byte, error) {
 		return nil, err
 	}
 	// Advance the session's observed vector (MonotonicReads floor).
-	s.readVV[obj] = rep.VersionVector()
+	// The vector copy is paid only when the guarantee consumes it — at
+	// soak rates an unconditional copy per read dominated the path.
+	if s.g&MonotonicReads != 0 {
+		s.readVV[obj] = rep.VersionVector()
+	}
 	return data, nil
 }
 
@@ -251,7 +270,10 @@ func (s *Session) Submit(u *update.Update) update.UpdateID {
 	u.Timestamp = c.pool.K.Now()
 	u.Sign(c.Signer)
 	id := u.ID()
-	s.ownWrites[u.Object] = append(s.ownWrites[u.Object], id)
+	if s.pending[u.Object] == nil {
+		s.pending[u.Object] = make(map[update.UpdateID]bool)
+	}
+	s.pending[u.Object][id] = true
 
 	if s.g&MonotonicWrites != 0 && s.inflight[u.Object] {
 		s.queued[u.Object] = append(s.queued[u.Object], u)
@@ -277,6 +299,7 @@ func (s *Session) send(u *update.Update) {
 			return
 		}
 		resolved = true
+		delete(s.pending[obj], id)
 		if committed {
 			for _, cb := range s.onCommit {
 				cb(obj, id)
@@ -294,9 +317,14 @@ func (s *Session) send(u *update.Update) {
 			s.send(next)
 		}
 	}
-	ring.OnCommit(func(cu *update.Update, out update.Outcome) {
-		if cu.ID() != id {
-			return
+	ring.AwaitCommit(id, func(out update.Outcome) {
+		// The update is now serialised at the primary: any replica whose
+		// committed log reaches the primary's current length holds it,
+		// so the session's RYW check collapses to a prefix comparison.
+		if s.g&ReadYourWrites != 0 {
+			if n := ring.PrimaryState().CommittedLen(); n > s.needCommitted[obj] {
+				s.needCommitted[obj] = n
+			}
 		}
 		finish(out.Committed)
 	})

@@ -40,10 +40,10 @@ func DefaultMaintenanceConfig() MaintenanceConfig {
 // returned stop function cancels them.
 func (p *Pool) StartMaintenance(cfg MaintenanceConfig) (stop func()) {
 	var cancels []func()
-	if cfg.Republish > 0 {
+	if cfg.Republish > 0 && p.Mesh != nil {
 		cancels = append(cancels, p.K.Every(cfg.Republish, p.republishAll))
 	}
-	if cfg.MeshRepair > 0 {
+	if cfg.MeshRepair > 0 && p.Mesh != nil {
 		cancels = append(cancels, p.K.Every(cfg.MeshRepair, func() {
 			p.syncMeshLiveness()
 			p.Mesh.Repair()

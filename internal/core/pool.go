@@ -43,6 +43,16 @@ type PoolConfig struct {
 	DropProb       float64
 	// Salts sets the location mesh's salted-root redundancy.
 	Salts uint32
+	// NoMesh skips building the Plaxton location mesh.  Mesh
+	// construction is O(n²) in node count (every node's routing table
+	// scans every other node), which caps worlds at a few hundred
+	// nodes; soak deployments that address replicas directly set
+	// NoMesh so a 10k-node pool builds in O(n).  Locate and Router
+	// are unavailable on a meshless pool.
+	NoMesh bool
+	// BatchDelivery turns on simnet's same-tick delivery batching
+	// (one event-heap push per distinct delivery time).
+	BatchDelivery bool
 }
 
 // DefaultPoolConfig is a 64-node, 4-domain pool with WAN-ish latency.
@@ -121,17 +131,21 @@ func NewPool(seed int64, cfg PoolConfig) *Pool {
 		BaseLatency:    cfg.BaseLatency,
 		LatencyPerUnit: cfg.LatencyPerUnit,
 		DropProb:       cfg.DropProb,
+		BatchDelivery:  cfg.BatchDelivery,
 	})
 	nodes := net.AddRandomNodes(cfg.Nodes, cfg.Extent, cfg.Domains)
-	ids := make([]guid.GUID, len(nodes))
-	for i, n := range nodes {
-		ids[i] = n.Addr
-	}
-	mesh := plaxton.New(ids, func(a, b int) float64 {
-		return net.Distance(simnet.NodeID(a), simnet.NodeID(b))
-	})
-	if cfg.Salts > 0 {
-		mesh.Salts = cfg.Salts
+	var mesh *plaxton.Mesh
+	if !cfg.NoMesh {
+		ids := make([]guid.GUID, len(nodes))
+		for i, n := range nodes {
+			ids[i] = n.Addr
+		}
+		mesh = plaxton.New(ids, func(a, b int) float64 {
+			return net.Distance(simnet.NodeID(a), simnet.NodeID(b))
+		})
+		if cfg.Salts > 0 {
+			mesh.Salts = cfg.Salts
+		}
 	}
 	p := &Pool{
 		K:       k,
@@ -153,6 +167,9 @@ func (p *Pool) Config() PoolConfig { return p.cfg }
 // failover and capped exponential backoff, instead of the synchronous
 // table walk Mesh performs.
 func (p *Pool) Router() *plaxton.Router {
+	if p.Mesh == nil {
+		panic("core: pool built with NoMesh has no location mesh to route over")
+	}
 	if p.router == nil {
 		p.router = plaxton.NewRouter(p.Mesh, p.Net, plaxton.DefaultRouterConfig())
 		if p.obsReg != nil || p.obsTr != nil {
@@ -212,8 +229,10 @@ func (p *Pool) CreateObject(owner *crypt.Signer, name string, initial []byte, ke
 	}
 	// Publish the object's location (its primary-tier members hold it).
 	for _, nid := range primaries {
-		if _, err := p.Mesh.Publish(int(nid), obj, p.K.Now()); err != nil {
-			return guid.Zero, err
+		if p.Mesh != nil {
+			if _, err := p.Mesh.Publish(int(nid), obj, p.K.Now()); err != nil {
+				return guid.Zero, err
+			}
 		}
 		if p.twoTier != nil {
 			p.twoTier.notePlacement(nid, obj)
@@ -256,6 +275,9 @@ func (p *Pool) AddReplica(obj guid.GUID, node simnet.NodeID) error {
 	if p.twoTier != nil {
 		p.twoTier.notePlacement(node, obj)
 	}
+	if p.Mesh == nil {
+		return nil
+	}
 	_, err := p.Mesh.Publish(int(node), obj, p.K.Now())
 	return err
 }
@@ -272,13 +294,18 @@ func (p *Pool) RemoveReplica(obj guid.GUID, node simnet.NodeID) error {
 	if p.twoTier != nil {
 		p.twoTier.noteRemoval(node, obj)
 	}
-	p.Mesh.Unpublish(int(node), obj, p.K.Now())
+	if p.Mesh != nil {
+		p.Mesh.Unpublish(int(node), obj, p.K.Now())
+	}
 	return nil
 }
 
 // Locate finds the closest replica of obj from a node, via the global
 // location mesh (§4.3.3).
 func (p *Pool) Locate(from simnet.NodeID, obj guid.GUID) (simnet.NodeID, error) {
+	if p.Mesh == nil {
+		return simnet.None, errors.New("core: pool built with NoMesh cannot locate")
+	}
 	res, err := p.Mesh.Locate(int(from), obj, p.K.Now())
 	if err != nil {
 		return simnet.None, err

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oceanstore/internal/acl"
+	"oceanstore/internal/archive"
+	"oceanstore/internal/crypt"
+	"oceanstore/internal/guid"
+	"oceanstore/internal/object"
+	"oceanstore/internal/replica"
+	"oceanstore/internal/simnet"
+	"oceanstore/internal/update"
+	"oceanstore/internal/workload"
+)
+
+// SoakConfig sizes a soak world: a meshless, batch-delivery pool large
+// enough for 10k nodes, with a client population the traffic engine
+// (workload.Engine) drives in a closed or open loop.
+type SoakConfig struct {
+	// Nodes is the server count.
+	Nodes int
+	// Objects is how many objects exist before traffic starts; creates
+	// grow the set during the run.
+	Objects int
+	// Secondaries is the floating-replica count per object.
+	Secondaries int
+	// Clients is the virtual-client population.
+	Clients int
+	// Faults is f per primary tier (3f+1 members).
+	Faults int
+	// BlockSize is the object block granularity; soak writes replace
+	// block 0, so object state stays bounded over a million updates.
+	BlockSize int
+	// MaxInFlight is the backpressure threshold: accepted-but-
+	// unresolved writes beyond it shed new requests (ErrOverloaded).
+	MaxInFlight int
+	// WriteTimeout bounds how long a write may stay unresolved in
+	// virtual time before the session gives up (abort) — without it,
+	// a write stalled behind churn retransmits forever and a closed
+	// loop never finishes.
+	WriteTimeout time.Duration
+	// ArchiveEvery archives a ring every N commits (soak loosens the
+	// paper's every-commit coupling so archival cost stays sublinear).
+	ArchiveEvery int
+	// GossipInterval is the secondary anti-entropy period.
+	GossipInterval time.Duration
+	// RetainVersions caps each object's retained version history
+	// (object.KeepLast); deep-archival copies persist regardless.
+	RetainVersions int
+	// RetireEvery is the period of the history-retirement sweep.
+	RetireEvery time.Duration
+	// Guarantees are the session guarantees every client runs under.
+	Guarantees Guarantees
+	// Link model.
+	Extent         float64
+	Domains        int
+	BaseLatency    time.Duration
+	LatencyPerUnit time.Duration
+}
+
+// DefaultSoakConfig scales a soak world to the given node count:
+// objects ~ nodes/16, clients ~ nodes/32 (clamped), one fault per
+// tier, WAN-ish latency.
+func DefaultSoakConfig(nodes int) SoakConfig {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	return SoakConfig{
+		Nodes:          nodes,
+		Objects:        clamp(nodes/16, 4, 4096),
+		Secondaries:    4,
+		Clients:        clamp(nodes/32, 4, 1024),
+		Faults:         1,
+		BlockSize:      512,
+		MaxInFlight:    clamp(nodes/32, 8, 1024),
+		WriteTimeout:   2 * time.Minute,
+		ArchiveEvery:   256,
+		GossipInterval: 30 * time.Second,
+		RetainVersions: 8,
+		RetireEvery:    5 * time.Minute,
+		Guarantees:     ReadYourWrites,
+		Extent:         100,
+		Domains:        8,
+		BaseLatency:    15 * time.Millisecond,
+		LatencyPerUnit: time.Millisecond,
+	}
+}
+
+// SoakWorld is a pool wired up as a workload.Target: reads are served
+// through sessions, writes resolve through the full Fig-5 update path
+// (agreement, dissemination, archival), creates provision fresh
+// objects with secondaries, and backpressure sheds load once too many
+// writes are unresolved.
+type SoakWorld struct {
+	Pool *Pool
+	cfg  SoakConfig
+
+	owner    *Client
+	sessions []*Session
+	objects  []guid.GUID
+	// writers grants every soak client write privilege; bound to each
+	// object at creation (the default cert is owner-only).
+	writers *acl.ACL
+
+	// await maps an in-flight write to its engine completion callback.
+	await    map[update.UpdateID]func(ok bool)
+	inflight int
+
+	// Rotation cursors: replica placement and growth attachment.
+	nextSecondary int
+	growIdx       int
+	created       int
+}
+
+// NewSoakWorld builds the world: a meshless pool (O(n) construction),
+// pre-created objects with floating replicas, and one session per
+// virtual client.  All clients share the owner's key ring, so any
+// client can read and write any object.
+func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
+	pc := PoolConfig{
+		Nodes:     cfg.Nodes,
+		Domains:   cfg.Domains,
+		Faults:    cfg.Faults,
+		BlockSize: cfg.BlockSize,
+		Ring: replica.Config{
+			Faults:         cfg.Faults,
+			ArchiveEvery:   cfg.ArchiveEvery,
+			Archive:        archive.Config{DataShards: 4, TotalFragments: 8},
+			GossipInterval: cfg.GossipInterval,
+			TreeFanout:     4,
+		},
+		Extent:         cfg.Extent,
+		BaseLatency:    cfg.BaseLatency,
+		LatencyPerUnit: cfg.LatencyPerUnit,
+		NoMesh:         true,
+		BatchDelivery:  true,
+	}
+	p := NewPool(seed, pc)
+	w := &SoakWorld{
+		Pool:  p,
+		cfg:   cfg,
+		await: make(map[update.UpdateID]func(bool)),
+	}
+	w.owner = p.NewClient(0, crypt.NewSigner(p.K.Rand()))
+	for i := 0; i < cfg.Clients; i++ {
+		c := p.NewClient(simnet.NodeID(i%cfg.Nodes), crypt.NewSigner(p.K.Rand()))
+		c.Keys = w.owner.Keys
+		s := c.NewSession(cfg.Guarantees)
+		s.UpdateTimeout = cfg.WriteTimeout
+		s.OnCommit(func(_ guid.GUID, id update.UpdateID) { w.resolve(id, true) })
+		s.OnAbort(func(_ guid.GUID, id update.UpdateID) { w.resolve(id, false) })
+		w.sessions = append(w.sessions, s)
+	}
+	w.writers = &acl.ACL{}
+	for _, s := range w.sessions {
+		w.writers.Entries = append(w.writers.Entries,
+			acl.Entry{PubKey: s.c.Signer.Public(), Priv: acl.PrivWrite})
+	}
+	for i := 0; i < cfg.Objects; i++ {
+		if _, err := w.createObject(); err != nil {
+			return nil, err
+		}
+	}
+	// Nodes that join mid-run (GrowAt) become secondaries of existing
+	// objects round-robin — promiscuous caching on arrival, O(added).
+	p.Net.OnTopology(func(added []*simnet.Node) {
+		for _, nd := range added {
+			if len(w.objects) == 0 {
+				return
+			}
+			obj := w.objects[w.growIdx%len(w.objects)]
+			w.growIdx++
+			w.addSecondary(obj, nd.ID)
+		}
+	})
+	if cfg.RetireEvery > 0 && cfg.RetainVersions > 0 {
+		p.K.Every(cfg.RetireEvery, func() {
+			policy := object.KeepLast{N: cfg.RetainVersions}
+			for _, obj := range w.objects {
+				if ring, ok := p.Ring(obj); ok {
+					ring.Retire(policy)
+				}
+			}
+		})
+	}
+	return w, nil
+}
+
+// Objects returns the current object set (grown by creates).
+func (w *SoakWorld) Objects() []guid.GUID {
+	return append([]guid.GUID(nil), w.objects...)
+}
+
+// InFlight reports unresolved accepted writes (backpressure level).
+func (w *SoakWorld) InFlight() int { return w.inflight }
+
+// createObject provisions one object with its floating replicas.
+func (w *SoakWorld) createObject() (guid.GUID, error) {
+	name := fmt.Sprintf("soak-%d", w.created)
+	w.created++
+	obj, err := w.owner.Create(name, make([]byte, w.cfg.BlockSize))
+	if err != nil {
+		return guid.Zero, err
+	}
+	if err := w.Pool.SetACL(w.owner.Signer, obj, w.writers, 2); err != nil {
+		return guid.Zero, err
+	}
+	for j := 0; j < w.cfg.Secondaries; j++ {
+		w.addSecondary(obj, w.nextSecondaryNode())
+	}
+	w.objects = append(w.objects, obj)
+	return obj, nil
+}
+
+// addSecondary attaches node as a floating replica of obj, skipping
+// duplicates (the rotation can lap a small world).
+func (w *SoakWorld) addSecondary(obj guid.GUID, node simnet.NodeID) {
+	ring, ok := w.Pool.Ring(obj)
+	if !ok {
+		return
+	}
+	if _, dup := ring.Secondary(node); dup {
+		return
+	}
+	// AddReplica only errors on unknown objects or duplicate
+	// secondaries, both excluded above.
+	_ = w.Pool.AddReplica(obj, node)
+}
+
+// nextSecondaryNode rotates replica placement over live nodes.
+func (w *SoakWorld) nextSecondaryNode() simnet.NodeID {
+	n := w.Pool.Net.Len()
+	for tries := 0; tries < n; tries++ {
+		id := simnet.NodeID(w.nextSecondary % n)
+		w.nextSecondary++
+		if !w.Pool.Net.Node(id).Down {
+			return id
+		}
+	}
+	return 0
+}
+
+// Do implements workload.Target.  Reads and creates complete
+// synchronously (a read is a local replica inspection in this
+// simulation); writes resolve when the primary tier's decision — or
+// the session's timeout — arrives.
+func (w *SoakWorld) Do(req workload.Request, done func(ok bool)) error {
+	s := w.sessions[req.Client%len(w.sessions)]
+	switch req.Kind {
+	case workload.OpCreate:
+		if w.cfg.MaxInFlight > 0 && w.inflight >= w.cfg.MaxInFlight {
+			return workload.ErrOverloaded
+		}
+		_, err := w.createObject()
+		done(err == nil)
+	case workload.OpWrite:
+		if w.cfg.MaxInFlight > 0 && w.inflight >= w.cfg.MaxInFlight {
+			return workload.ErrOverloaded
+		}
+		obj := w.objects[req.Object%len(w.objects)]
+		size := req.Size
+		if size > w.cfg.BlockSize {
+			size = w.cfg.BlockSize
+		}
+		if size < 1 {
+			size = 1
+		}
+		id, err := s.Replace(obj, 0, make([]byte, size))
+		if err != nil {
+			done(false)
+			return nil
+		}
+		w.await[id] = done
+		w.inflight++
+	default: // OpRead
+		obj := w.objects[req.Object%len(w.objects)]
+		_, err := s.Read(obj)
+		done(err == nil)
+	}
+	return nil
+}
+
+// resolve completes an awaited write (commit, abort, or timeout).
+func (w *SoakWorld) resolve(id update.UpdateID, ok bool) {
+	done, found := w.await[id]
+	if !found {
+		return
+	}
+	delete(w.await, id)
+	w.inflight--
+	done(ok)
+}
+
+// StartChurn bounces one node per period (down for downFor), cycling
+// through the world but sparing node 0 so the owner's anchor stays
+// up.  Returns a cancel function.
+func (w *SoakWorld) StartChurn(every, downFor time.Duration) (stop func()) {
+	next := 1
+	return w.Pool.K.Every(every, func() {
+		n := w.Pool.Net.Len()
+		if n < 2 {
+			return
+		}
+		id := simnet.NodeID(next % n)
+		if id == 0 {
+			next++
+			id = simnet.NodeID(next % n)
+		}
+		next++
+		w.Pool.Net.Bounce(id, w.Pool.K.Now(), downFor)
+	})
+}
+
+// GrowAt schedules count fresh nodes to join the world at virtual
+// time t; on arrival they pick up floating replicas via the topology
+// callback registered in NewSoakWorld.
+func (w *SoakWorld) GrowAt(t time.Duration, count int) {
+	w.Pool.Net.GrowAt(t, count, w.cfg.Extent, w.cfg.Domains)
+}

@@ -99,6 +99,11 @@ type Ring struct {
 	// OnCommit callbacks fire after a committed update is applied at the
 	// primary (the API's callback feature, §4.6).
 	onCommit []func(u *update.Update, out update.Outcome)
+	// waiters holds single-update completion callbacks (AwaitCommit),
+	// fired once and discarded.  Sessions use these for their own
+	// writes so a long run does not accumulate one broadcast callback
+	// per write — the onCommit slice is for durable watchers only.
+	waiters map[update.UpdateID][]func(update.Outcome)
 
 	// CheckWrite, when set, is the server-side writer-restriction gate
 	// (package acl); updates failing it are dropped before agreement.
@@ -158,6 +163,7 @@ func NewRing(net *simnet.Network, primaryNodes []simnet.NodeID, v0 *object.Versi
 		primaryState: epidemic.New(v0),
 		secondaries:  make(map[simnet.NodeID]*Secondary),
 		history:      object.NewHistory(v0),
+		waiters:      make(map[update.UpdateID][]func(update.Outcome)),
 	}
 	// The dissemination tree is rooted at the first primary.
 	r.tree = dtree.New(net, primaryNodes[0], cfg.TreeFanout)
@@ -183,9 +189,30 @@ func (r *Ring) PrimaryNodes() []simnet.NodeID {
 // Tree exposes the dissemination tree.
 func (r *Ring) Tree() *dtree.Tree { return r.tree }
 
-// OnCommit registers a commit callback.
+// OnCommit registers a commit callback.  Callbacks are permanent and
+// run for EVERY update the primary serialises; per-write completion
+// should use AwaitCommit instead, which is O(1) per resolution rather
+// than growing the broadcast list.
 func (r *Ring) OnCommit(cb func(*update.Update, update.Outcome)) {
 	r.onCommit = append(r.onCommit, cb)
+}
+
+// AwaitCommit registers a one-shot callback for a single update's
+// primary-tier resolution.  The callback is discarded after firing;
+// Cancel drops it early.
+func (r *Ring) AwaitCommit(id update.UpdateID, cb func(update.Outcome)) {
+	r.waiters[id] = append(r.waiters[id], cb)
+}
+
+// fireWaiters resolves the one-shot completion callbacks for u.
+func (r *Ring) fireWaiters(u *update.Update, out update.Outcome) {
+	id := u.ID()
+	if ws := r.waiters[id]; len(ws) > 0 {
+		delete(r.waiters, id)
+		for _, w := range ws {
+			w(out)
+		}
+	}
 }
 
 // AddSecondary joins a node as a secondary replica: it enters the
@@ -282,11 +309,13 @@ func (r *Ring) Submit(client simnet.NodeID, u *update.Update, spread int, onResu
 }
 
 // Cancel abandons a client's outstanding submission of u: the byz
-// client stops retransmitting and any late quorum is dropped.  Used by
-// session-level update timeouts so a write the client gave up on cannot
-// keep generating traffic forever.
+// client stops retransmitting, any late quorum is dropped, and the
+// update's one-shot waiters are discarded (the caller already gave up
+// on the answer).  Used by session-level update timeouts so a write
+// the client abandoned cannot keep generating traffic or pin memory.
 func (r *Ring) Cancel(client simnet.NodeID, u *update.Update) {
 	r.group.Cancel(client, updateDigest(u))
+	delete(r.waiters, u.ID())
 }
 
 // updateDigest names an update for agreement.
@@ -314,9 +343,11 @@ func (r *Ring) executeCommitted(seq uint64, req byz.Request) {
 			// Unauthorized writes are ignored by servers (§4.2) — but the
 			// outcome is surfaced as an abort so client-side chains
 			// (MonotonicWrites, transactions) resolve.
+			rejected := update.Outcome{Committed: false, Guard: -1}
 			for _, cb := range r.onCommit {
-				cb(u, update.Outcome{Committed: false, Guard: -1})
+				cb(u, rejected)
 			}
+			r.fireWaiters(u, rejected)
 			return
 		}
 	}
@@ -324,6 +355,7 @@ func (r *Ring) executeCommitted(seq uint64, req byz.Request) {
 	for _, cb := range r.onCommit {
 		cb(u, out)
 	}
+	r.fireWaiters(u, out)
 	if out.Committed {
 		r.history.Add(r.primaryState.CommittedState())
 		r.commitCount++

@@ -88,6 +88,17 @@ func (k *Kernel) RunUntil(t time.Duration) {
 // RunFor advances the simulation by d from the current time.
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 
+// RunWhile executes events while cond stays true and the queue is
+// non-empty.  cond is checked between events, so the driver loop for
+// "run until the workload drains" costs one closure call per event
+// instead of repeated RunFor probing.
+func (k *Kernel) RunWhile(cond func() bool) {
+	k.halted = false
+	for k.queue.len() > 0 && !k.halted && cond() {
+		k.step()
+	}
+}
+
 // Halt stops the current Run/RunUntil after the executing event
 // returns.  Pending events stay queued.
 func (k *Kernel) Halt() { k.halted = true }

@@ -87,6 +87,16 @@ type Config struct {
 	// Bandwidth, if non-zero, adds Size/Bandwidth serialization delay
 	// (bytes per second).
 	Bandwidth float64
+	// BatchDelivery coalesces messages due at the same virtual tick
+	// into one kernel event: the heap sees one push per distinct
+	// delivery time instead of one per message, and message buffers
+	// are pooled across batches.  Delivery order within a tick is send
+	// order — the same order the unbatched path's (time, seq) heap key
+	// produces — so for layers that only react to deliveries the two
+	// paths take identical trajectories (pinned by
+	// TestBatchDeliveryEquivalence).  Large worlds (10k nodes) run
+	// with this on.
+	BatchDelivery bool
 }
 
 // Stats aggregates traffic counters.  ByKind maps the message Kind tag
@@ -154,6 +164,14 @@ type Network struct {
 	plan      FaultPlan
 	trace     func(TraceEvent)
 	liveness  []func(id NodeID, up bool)
+	topology  []func(added []*Node)
+
+	// Batched delivery state (Config.BatchDelivery): messages due at
+	// the same tick share one queued batch and one kernel event.
+	// Drained batches park on a free list so steady-state batching
+	// allocates nothing per tick.
+	batches   map[time.Duration]*msgBatch
+	batchFree []*msgBatch
 
 	// Observability (Instrument): om holds pre-resolved metric handles,
 	// otr the opt-in trace ring.  Both nil in uninstrumented runs, so
@@ -171,8 +189,13 @@ type netMetrics struct {
 	sent, delivered, bytes                                       *obs.Counter
 	dropCrash, dropPartition, dropFault, dropLoss, dropNoHandler *obs.Counter
 	crashes, recoveries, retries                                 *obs.Counter
-	links                                                        map[[2]NodeID]*linkMetrics
-	kindRetries                                                  map[string]*obs.Counter
+	// links shards the per-link counter table by source node: one
+	// small map per sender instead of one network-wide map keyed by
+	// [2]NodeID.  A 10k-node world's hot senders then hash a single
+	// int into a map sized to their own fan-out, and growth (GrowAt)
+	// only extends the spine slice.
+	links       []map[NodeID]*linkMetrics
+	kindRetries map[string]*obs.Counter
 }
 
 type linkMetrics struct {
@@ -183,14 +206,23 @@ type linkMetrics struct {
 // Names encode the destination, so Key.Node carries the source: the
 // pair answers "bytes/drops per link" (§5's per-flow observation).
 func (m *netMetrics) link(from, to NodeID) *linkMetrics {
-	k := [2]NodeID{from, to}
-	lm, ok := m.links[k]
+	if int(from) >= len(m.links) {
+		grown := make([]map[NodeID]*linkMetrics, int(from)+1)
+		copy(grown, m.links)
+		m.links = grown
+	}
+	shard := m.links[from]
+	if shard == nil {
+		shard = make(map[NodeID]*linkMetrics)
+		m.links[from] = shard
+	}
+	lm, ok := shard[to]
 	if !ok {
 		lm = &linkMetrics{
 			bytes: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_bytes", to)),
 			drops: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_drops", to)),
 		}
-		m.links[k] = lm
+		shard[to] = lm
 	}
 	return lm
 }
@@ -218,7 +250,7 @@ func (n *Network) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		crashes:       reg.Counter(obs.NodeWide, "simnet", "crashes"),
 		recoveries:    reg.Counter(obs.NodeWide, "simnet", "recoveries"),
 		retries:       reg.Counter(obs.NodeWide, "simnet", "retries"),
-		links:         make(map[[2]NodeID]*linkMetrics),
+		links:         make([]map[NodeID]*linkMetrics, len(n.nodes)),
 		kindRetries:   make(map[string]*obs.Counter),
 	}
 }
@@ -230,6 +262,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 		cfg:       cfg,
 		stats:     newStats(),
 		partition: make(map[NodeID]int),
+		batches:   make(map[time.Duration]*msgBatch),
 	}
 }
 
@@ -252,6 +285,7 @@ func (n *Network) AddNode(x, y float64) *Node {
 
 // AddRandomNodes places count nodes uniformly on the unit square scaled
 // by extent, assigning each to one of domains administrative domains.
+// Topology callbacks (OnTopology) fire once for the whole batch.
 func (n *Network) AddRandomNodes(count int, extent float64, domains int) []*Node {
 	out := make([]*Node, count)
 	for i := range out {
@@ -261,7 +295,34 @@ func (n *Network) AddRandomNodes(count int, extent float64, domains int) []*Node
 		}
 		out[i] = nd
 	}
+	for _, fn := range n.topology {
+		fn(out)
+	}
 	return out
+}
+
+// OnTopology registers a callback fired after every batch of nodes is
+// added (AddRandomNodes, GrowAt).  Layers that keep per-node state
+// (meshes, replica sets, workload targets) extend themselves
+// incrementally from the batch instead of rescanning the world — the
+// piece that keeps growing a world O(added), not O(n²).
+func (n *Network) OnTopology(fn func(added []*Node)) {
+	n.topology = append(n.topology, fn)
+}
+
+// GrowAt schedules count new nodes to join at absolute virtual time t.
+// Positions and domains draw from the kernel RNG at the event's
+// execution time, so growth interleaves deterministically with the
+// rest of the run.
+func (n *Network) GrowAt(t time.Duration, count int, extent float64, domains int) {
+	n.K.At(t, func() { n.AddRandomNodes(count, extent, domains) })
+}
+
+// Bounce schedules one crash/recover cycle: down at `at`, back up
+// downFor later — the unit of timed churn the soak driver composes.
+func (n *Network) Bounce(id NodeID, at, downFor time.Duration) {
+	n.CrashAt(at, id)
+	n.RecoverAt(at+downFor, id)
 }
 
 // Node returns the node with the given ID.
@@ -471,7 +532,68 @@ func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
 	if n.cfg.Bandwidth > 0 {
 		lat += time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
 	}
+	if n.cfg.BatchDelivery {
+		n.enqueueBatched(msg, lat)
+		return
+	}
 	n.K.After(lat, func() { n.Deliver(msg) })
+}
+
+// msgBatch collects the messages due at one virtual tick.
+type msgBatch struct {
+	msgs []Message
+}
+
+// enqueueBatched appends the message to the batch for its delivery
+// tick, creating the batch — and its single kernel event — on first
+// use.  Append order is send order, which matches the unbatched
+// heap's (time, seq) order for equal-time deliveries.
+func (n *Network) enqueueBatched(m Message, lat time.Duration) {
+	due := n.K.Now() + lat
+	b, ok := n.batches[due]
+	if !ok {
+		b = n.getBatch()
+		n.batches[due] = b
+		n.K.At(due, func() { n.flushBatch(due) })
+	}
+	b.msgs = append(b.msgs, m)
+}
+
+// flushBatch delivers every message due at this tick.  The batch is
+// unhooked before delivery: a handler that sends a zero-latency
+// message back onto the same tick opens a fresh batch whose event
+// runs later in the tick — exactly where the unbatched path would
+// put it.
+func (n *Network) flushBatch(due time.Duration) {
+	b := n.batches[due]
+	if b == nil {
+		return
+	}
+	delete(n.batches, due)
+	for i := range b.msgs {
+		n.Deliver(b.msgs[i])
+	}
+	n.putBatch(b)
+}
+
+// getBatch/putBatch recycle batch buffers: a drained batch clears its
+// payload references (so the GC can collect delivered messages) and
+// parks on the free list for the next tick.
+func (n *Network) getBatch() *msgBatch {
+	if len(n.batchFree) > 0 {
+		b := n.batchFree[len(n.batchFree)-1]
+		n.batchFree = n.batchFree[:len(n.batchFree)-1]
+		return b
+	}
+	return &msgBatch{}
+}
+
+func (n *Network) putBatch(b *msgBatch) {
+	for i := range b.msgs {
+		b.msgs[i] = Message{}
+	}
+	b.msgs = b.msgs[:0]
+	n.batchFree = append(n.batchFree, b)
 }
 
 // Deliver hands a message to the destination's handlers right now,

@@ -116,18 +116,19 @@ func CorrelatedTrace(patterns [][]guid.GUID, noiseUniverse []guid.GUID, noise fl
 	return out[:length]
 }
 
+// TimedOp is one (site, time) access observation — the unit the
+// migration detector consumes.
+type TimedOp struct {
+	Site int
+	At   time.Duration
+}
+
 // Diurnal emits (site, time) access observations over days: accesses
 // come from daySite during [workStart, workEnd) hours and from
 // nightSite otherwise, with jitter — the input to the migration
 // detector (§4.7.2).
-func Diurnal(days int, perDay int, daySite, nightSite int, workStart, workEnd int, rng *rand.Rand) []struct {
-	Site int
-	At   time.Duration
-} {
-	var out []struct {
-		Site int
-		At   time.Duration
-	}
+func Diurnal(days int, perDay int, daySite, nightSite int, workStart, workEnd int, rng *rand.Rand) []TimedOp {
+	var out []TimedOp
 	day := 24 * time.Hour
 	for d := 0; d < days; d++ {
 		for i := 0; i < perDay; i++ {
@@ -138,10 +139,7 @@ func Diurnal(days int, perDay int, daySite, nightSite int, workStart, workEnd in
 			}
 			at := time.Duration(d)*day + time.Duration(hour)*time.Hour +
 				time.Duration(rng.Intn(60))*time.Minute
-			out = append(out, struct {
-				Site int
-				At   time.Duration
-			}{site, at})
+			out = append(out, TimedOp{Site: site, At: at})
 		}
 	}
 	return out
