@@ -7,9 +7,9 @@ GO ?= go
 PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
 	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate cover cover-write soak-smoke
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate cover cover-write soak-smoke scenarios-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,22 @@ soak-smoke:
 	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "soak-smoke: summaries differ across GOMAXPROCS"; exit 1; fi; \
 	rm -rf $$tmp; \
 	echo "soak-smoke: byte-identical at GOMAXPROCS 1 and 4"
+
+# Adversarial gate: run the whole scenario catalogue — every defense
+# armed (invariants must hold) and switched off (invariants must
+# break) — and fail on any invariant failure.  Also checks the audited
+# run's metrics dump is byte-identical at GOMAXPROCS 1 and 4.
+scenarios-smoke:
+	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
+	tmp=$$(mktemp -d); \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt scenarios 1 > $$tmp/out1.txt || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt scenarios 1 > $$tmp/out4.txt || exit 1; \
+	if ! grep -q '^invariant failures: 0$$' $$tmp/out1.txt; then \
+		echo "scenarios-smoke: invariant failures:"; cat $$tmp/out1.txt; exit 1; fi; \
+	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "scenarios-smoke: metrics differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "scenarios-smoke: reports differ across GOMAXPROCS"; exit 1; fi; \
+	rm -rf $$tmp; \
+	echo "scenarios-smoke: all invariants hold armed, all break disarmed; dumps byte-identical at GOMAXPROCS 1 and 4"
 
 # Full benchmark pass rendered as JSON against the checked-in baseline.
 # Refresh after performance work: `make bench-json` then commit the

@@ -17,7 +17,7 @@
 // never interleaves or reorders lines.
 //
 // With -metrics FILE the instrumented experiments (latency, fragments,
-// updatepath, soak) additionally dump their observability counters in
+// updatepath, soak, scenarios) additionally dump their observability counters in
 // cmd/benchjson-compatible Benchmark lines; with -trace FILE they dump
 // per-message trace events as JSONL.  Both dumps are deterministic:
 // the same seed produces byte-identical files at any GOMAXPROCS.
@@ -57,6 +57,14 @@ var experiments = []experiment{
 	{"twotier", "§4.3 — combined probabilistic + global location on a pool", runTwoTier},
 	{"fanout", "ablation — dissemination tree fanout vs depth and load", runFanout},
 	{"soak", "steady state — Zipf mix over a maintained pool with churn", runSoak},
+	{"scenarios", "adversarial suite — each audit defense armed vs switched off", runScenarios},
+}
+
+// flaggedExperiments maps the experiments that take their own flags
+// after the positional seed to their flag-set constructors.
+var flaggedExperiments = map[string]func() *flag.FlagSet{
+	"soak":      soakFlagSet,
+	"scenarios": scenariosFlagSet,
 }
 
 // obsink bundles the observability sinks one experiment run collects
@@ -281,11 +289,12 @@ func main() {
 		rest = rest[1:]
 	}
 	if len(rest) > 0 {
-		if name != "soak" {
-			fmt.Fprintf(os.Stderr, "unexpected arguments %v (only soak takes experiment flags)\n", rest)
+		mkfs, ok := flaggedExperiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unexpected arguments %v (only soak and scenarios take experiment flags)\n", rest)
 			os.Exit(2)
 		}
-		soakFlagSet().Parse(rest)
+		mkfs().Parse(rest)
 	}
 	var list []experiment
 	if name == "all" {
@@ -329,4 +338,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  -trace FILE    dump per-message trace events as JSONL (instrumented experiments)")
 	fmt.Fprintln(os.Stderr, "soak flags (after the seed): -nodes -ops -clients -objects -write -create -zipf")
 	fmt.Fprintln(os.Stderr, "  -size -think -openloop -arrival -maxinflight -churn -downfor -grow -growat")
+	fmt.Fprintln(os.Stderr, "scenarios flags (after the seed): -only NAME -armedonly -interval D")
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"oceanstore/internal/scenario"
+)
+
+// scenarioOpts are the scenarios experiment's knobs; the initializers
+// are the defaults and scenariosFlagSet echoes them, mirroring soak.
+var scenarioOpts = struct {
+	only      string
+	armedOnly bool
+	interval  time.Duration
+}{}
+
+// scenariosFlagSet builds the flag set parsed from the arguments after
+// `scenarios [seed]` on the command line.
+func scenariosFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	o := &scenarioOpts
+	fs.StringVar(&o.only, "only", o.only, "run a single named scenario (default: whole catalogue)")
+	fs.BoolVar(&o.armedOnly, "armedonly", o.armedOnly, "skip the paired defense-off runs")
+	fs.DurationVar(&o.interval, "interval", o.interval, "override the audit cadence (0 = suite default, 1m)")
+	return fs
+}
+
+// runScenarios executes the adversarial catalogue: every scenario runs
+// with its defense armed (invariants must hold) and — unless
+// -armedonly — again with exactly that defense switched off
+// (invariants must break, or the defense is dead weight).  The final
+// "invariant failures: N" line is the smoke target's pass/fail signal.
+func runScenarios(w io.Writer, seed int64, ob *obsink) {
+	o := scenarioOpts
+	cat := scenario.Catalogue()
+	if o.only != "" {
+		sc, ok := scenario.Find(o.only)
+		if !ok {
+			fmt.Fprintf(w, "unknown scenario %q; catalogue:\n", o.only)
+			for _, s := range cat {
+				fmt.Fprintf(w, "  %-22s %s\n", s.Name, s.Desc)
+			}
+			fmt.Fprintln(w, "invariant failures: 1")
+			return
+		}
+		cat = []scenario.Scenario{sc}
+	}
+	failures := 0
+	for _, sc := range cat {
+		// Only the armed run feeds the observability sinks: it is the
+		// shipping configuration, and a paired disarmed run would merge a
+		// second world's counters into the same registry.
+		armed := sc.Run(scenario.Options{
+			Seed: seed, Defense: true, AuditInterval: o.interval,
+			Reg: ob.registry(), Tracer: ob.tracer(),
+		})
+		verdict := "PASS"
+		if !armed.Pass() {
+			verdict = "FAIL"
+			failures += len(armed.Violations)
+		}
+		fmt.Fprintf(w, "scenario %-22s armed    %s", sc.Name, verdict)
+		for _, m := range armed.Metrics {
+			fmt.Fprintf(w, "  %s=%d", m.Name, m.Value)
+		}
+		fmt.Fprintln(w)
+		for _, v := range armed.Violations {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		if o.armedOnly {
+			continue
+		}
+		off := sc.Run(scenario.Options{Seed: seed, Defense: false, AuditInterval: o.interval})
+		if off.Pass() {
+			// A defense whose absence changes nothing defends nothing.
+			failures++
+			fmt.Fprintf(w, "scenario %-22s disarmed PASS  <- defense %q is not load-bearing\n",
+				sc.Name, sc.Defense)
+		} else {
+			fmt.Fprintf(w, "scenario %-22s disarmed broke as expected (%d violations; defense: %s)\n",
+				sc.Name, len(off.Violations), sc.Defense)
+		}
+	}
+	fmt.Fprintf(w, "invariant failures: %d\n", failures)
+}

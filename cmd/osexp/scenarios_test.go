@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func findExperiment(t *testing.T, name string) experiment {
+	t.Helper()
+	for _, e := range experiments {
+		if e.name == name {
+			return e
+		}
+	}
+	t.Fatalf("experiment %q not registered", name)
+	return experiment{}
+}
+
+// TestScenariosFlagParsing: the scenarios subcommand's flags, table
+// driven over the same path main() takes.
+func TestScenariosFlagParsing(t *testing.T) {
+	saved := scenarioOpts
+	defer func() { scenarioOpts = saved }()
+	cases := []struct {
+		name      string
+		args      []string
+		only      string
+		armedOnly bool
+		interval  time.Duration
+	}{
+		{"defaults", nil, "", false, 0},
+		{"only", []string{"-only", "bitrot-drizzle"}, "bitrot-drizzle", false, 0},
+		{"armedonly", []string{"-armedonly"}, "", true, 0},
+		{"both", []string{"-only", "az-loss", "-armedonly"}, "az-loss", true, 0},
+		{"interval", []string{"-interval", "30s"}, "", false, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scenarioOpts.only, scenarioOpts.armedOnly, scenarioOpts.interval = "", false, 0
+			if err := scenariosFlagSet().Parse(tc.args); err != nil {
+				t.Fatalf("parse %v: %v", tc.args, err)
+			}
+			if scenarioOpts.only != tc.only || scenarioOpts.armedOnly != tc.armedOnly ||
+				scenarioOpts.interval != tc.interval {
+				t.Fatalf("parse %v: got %+v, want only=%q armedonly=%v interval=%v",
+					tc.args, scenarioOpts, tc.only, tc.armedOnly, tc.interval)
+			}
+		})
+	}
+}
+
+// TestSoakFlagParsing covers the soak subcommand's flag set the same
+// way; a mis-declared flag name or type breaks heavy-run scripts.
+func TestSoakFlagParsing(t *testing.T) {
+	saved := soakOpts
+	defer func() { soakOpts = saved }()
+	cases := []struct {
+		name  string
+		args  []string
+		check func() bool
+	}{
+		{"nodes-ops", []string{"-nodes", "512", "-ops", "100"},
+			func() bool { return soakOpts.nodes == 512 && soakOpts.ops == 100 }},
+		{"mix", []string{"-write", "0.5", "-create", "0.1", "-zipf", "1.3"},
+			func() bool { return soakOpts.write == 0.5 && soakOpts.create == 0.1 && soakOpts.zipf == 1.3 }},
+		{"openloop", []string{"-openloop", "-arrival", "25ms"},
+			func() bool { return soakOpts.open && soakOpts.arrival == 25*time.Millisecond }},
+		{"churn", []string{"-churn", "2m", "-downfor", "30s"},
+			func() bool { return soakOpts.churn == 2*time.Minute && soakOpts.downFor == 30*time.Second }},
+		{"growth", []string{"-grow", "64", "-growat", "1m"},
+			func() bool { return soakOpts.grow == 64 && soakOpts.growAt == time.Minute }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			soakOpts = saved
+			if err := soakFlagSet().Parse(tc.args); err != nil {
+				t.Fatalf("parse %v: %v", tc.args, err)
+			}
+			if !tc.check() {
+				t.Fatalf("parse %v left wrong option values: %+v", tc.args, soakOpts)
+			}
+		})
+	}
+}
+
+// TestScenariosReportShape: the report must carry one armed line per
+// catalogue entry, the paired disarmed lines, and the greppable
+// summary the smoke target gates on.
+func TestScenariosReportShape(t *testing.T) {
+	saved := scenarioOpts
+	defer func() { scenarioOpts = saved }()
+	scenarioOpts.only, scenarioOpts.armedOnly = "", false
+	e := findExperiment(t, "scenarios")
+	var buf bytes.Buffer
+	e.run(&buf, 42, nil)
+	out := buf.String()
+	for _, want := range []string{
+		"scenario bitrot-drizzle", "scenario byz-minority", "scenario partition-heal-storm",
+		"scenario az-loss", "scenario churn-during-audit", "scenario audit-amplification",
+		"scenario replica-tamper",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "invariant failures: 0") {
+		t.Errorf("report must end with a zero-failure summary; got:\n%s", out)
+	}
+	if got := strings.Count(out, "disarmed broke as expected"); got != 7 {
+		t.Errorf("want 7 disarmed-breakage lines, got %d", got)
+	}
+}
+
+// TestScenariosOnlyUnknown: a typo'd -only must not read as success.
+func TestScenariosOnlyUnknown(t *testing.T) {
+	saved := scenarioOpts
+	defer func() { scenarioOpts = saved }()
+	scenarioOpts.only, scenarioOpts.armedOnly = "no-such-scenario", false
+	e := findExperiment(t, "scenarios")
+	var buf bytes.Buffer
+	e.run(&buf, 1, nil)
+	if !strings.Contains(buf.String(), "invariant failures: 1") {
+		t.Fatalf("unknown scenario must count as a failure; got:\n%s", buf.String())
+	}
+}
+
+// TestSoakReportShape: the soak report's load-bearing lines, which
+// scripts and EXPERIMENTS.md excerpts grep for.
+func TestSoakReportShape(t *testing.T) {
+	saved := soakOpts
+	defer func() { soakOpts = saved }()
+	soakOpts.nodes, soakOpts.ops = 32, 60
+	e := findExperiment(t, "soak")
+	var buf bytes.Buffer
+	e.run(&buf, 1, nil)
+	out := buf.String()
+	for _, want := range []string{"soak: ", "ops: ", "latency: p50", "traffic: ", "committed updates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("soak report missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("small soak run should drain cleanly; got:\n%s", out)
+	}
+}
+
+// TestScenariosObsDumpProcsInvariant is the acceptance gate for the
+// audited run's observability: with a fixed seed, the -metrics dump of
+// the scenarios experiment (whose armed runs instrument simnet, the
+// archive and the auditor) must be byte-identical at GOMAXPROCS=1
+// and 4.
+func TestScenariosObsDumpProcsInvariant(t *testing.T) {
+	saved := scenarioOpts
+	defer func() { scenarioOpts = saved }()
+	// One audited scenario keeps the test quick; bitrot-drizzle runs the
+	// full detect-and-repair loop.
+	scenarioOpts.only, scenarioOpts.armedOnly = "bitrot-drizzle", false
+	e := findExperiment(t, "scenarios")
+	run := func(procs int) ([]byte, []byte) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		return obsDump(t, e, 11, 2)
+	}
+	m1, t1 := run(1)
+	m4, t4 := run(4)
+	if len(m1) == 0 {
+		t.Fatal("empty metrics dump")
+	}
+	if !bytes.Contains(m1, []byte("audit")) {
+		t.Fatal("metrics dump carries no audit counters — the auditor was not instrumented")
+	}
+	if !bytes.Equal(m1, m4) {
+		t.Fatal("metrics dump differs between GOMAXPROCS=1 and 4")
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Fatal("trace dump differs between GOMAXPROCS=1 and 4")
+	}
+}

@@ -91,7 +91,7 @@ func main() {
 	fmt.Println("\nnothing short of a global disaster destroys archived data (§4.5)")
 
 	// Background repair restores the redundancy level.
-	repaired := world.Pool.Arch.RepairSweep(12, nil)
+	repaired, _ := world.Pool.Arch.RepairSweep(12, nil)
 	fmt.Printf("repair sweep restored %d archives; live fragments now %d\n",
 		len(repaired), world.Pool.Arch.LiveFragments(root))
 }

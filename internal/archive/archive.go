@@ -323,6 +323,35 @@ func (ns *NodeStore) Drop(root guid.GUID, index int) {
 	delete(ns.frags[root], index)
 }
 
+// Roots lists the archive roots this store holds fragments of, in GUID
+// order.
+func (ns *NodeStore) Roots() []guid.GUID {
+	out := make([]guid.GUID, 0, len(ns.frags))
+	for root, m := range ns.frags {
+		if len(m) > 0 {
+			out = append(out, root)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Tamper mutates a stored fragment's payload in place — the bit-rot
+// injection point.  The payload is cloned first: fragment Data slices
+// are shared with in-flight copies and the original encode output, and
+// rot on one disk must not teleport into another node's copy.  Unlike
+// Put, the result deliberately no longer verifies.
+func (ns *NodeStore) Tamper(root guid.GUID, index int, mut func(data []byte)) bool {
+	sf, ok := ns.frags[root][index]
+	if !ok {
+		return false
+	}
+	sf.Data = append([]byte(nil), sf.Data...)
+	mut(sf.Data)
+	ns.frags[root][index] = sf
+	return true
+}
+
 // retrievalState tracks one in-flight reconstruction.
 type retrievalState struct {
 	cfg      Config

@@ -327,7 +327,10 @@ func TestRepairSweepRestoresRedundancy(t *testing.T) {
 	if before > 12 {
 		t.Fatalf("degradation failed: %d live", before)
 	}
-	repaired := svc.RepairSweep(16, nil)
+	repaired, failed := svc.RepairSweep(16, nil)
+	if len(failed) != 0 {
+		t.Fatalf("unexpected repair failures: %v", failed)
+	}
 	if len(repaired) != 1 || repaired[0] != root {
 		t.Fatalf("repaired = %v", repaired)
 	}
@@ -336,7 +339,7 @@ func TestRepairSweepRestoresRedundancy(t *testing.T) {
 		t.Fatalf("after repair only %d live fragments", after)
 	}
 	// A healthy archive is left alone.
-	if again := svc.RepairSweep(16, nil); len(again) != 0 {
+	if again, _ := svc.RepairSweep(16, nil); len(again) != 0 {
 		t.Fatalf("healthy archive repaired: %v", again)
 	}
 }

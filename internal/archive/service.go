@@ -2,6 +2,7 @@ package archive
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -47,6 +48,18 @@ type Service struct {
 	inflight   map[uint64]*retrievalState
 	requesters map[simnet.NodeID]bool
 
+	// byz marks Byzantine storage nodes: they acknowledge everything but
+	// serve plausible-looking garbage (right shape, failing hashes) on
+	// the wire, while claiming perfect health.  The audit layer exists
+	// to catch exactly this (§4.1: promiscuous caching requires data be
+	// protected from unauthorized substitution).
+	byz map[simnet.NodeID]bool
+	// damagedAt records, per archive root, the virtual time of the first
+	// still-unrepaired data-plane damage (bit rot, disk wipe).  A
+	// successful repair clears the entry; the auditor reads it to report
+	// detection latency and tests read it to find silent rot.
+	damagedAt map[guid.GUID]time.Duration
+
 	om  *archMetrics
 	otr *obs.Tracer
 }
@@ -66,6 +79,7 @@ type archMetrics struct {
 	fragsNeeded   *obs.Counter
 	retryRounds   *obs.Counter
 	repairs       *obs.Counter
+	repairFailed  *obs.Counter
 	retrievalLat  *obs.Histogram
 }
 
@@ -93,6 +107,7 @@ func (s *Service) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		fragsNeeded:   c("frags_needed"),
 		retryRounds:   c("retry_rounds"),
 		repairs:       c("repairs"),
+		repairFailed:  c("repair_failed"),
 		retrievalLat:  reg.Histogram(obs.NodeWide, "archive", "retrieval_latency_ns"),
 	}
 }
@@ -106,6 +121,8 @@ func NewService(net *simnet.Network, nodes []*simnet.Node) *Service {
 		cfgs:       make(map[guid.GUID]Config),
 		inflight:   make(map[uint64]*retrievalState),
 		requesters: make(map[simnet.NodeID]bool),
+		byz:        make(map[simnet.NodeID]bool),
+		damagedAt:  make(map[guid.GUID]time.Duration),
 	}
 	for _, n := range nodes {
 		s.stores[n.ID] = NewNodeStore()
@@ -193,7 +210,7 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 		if s.om != nil {
 			s.om.retrievalsErr.Inc()
 		}
-		cb(nil, errors.New("archive: unknown archive root"), 0)
+		cb(nil, ErrUnknownRoot, 0)
 		return
 	}
 	if s.om != nil {
@@ -316,6 +333,9 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 		if !ok {
 			return
 		}
+		if s.byz[id] {
+			sf = garble(sf)
+		}
 		if s.om != nil {
 			s.om.fragReplies.Inc()
 		}
@@ -364,14 +384,108 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 	}
 }
 
+// ErrUnknownRoot reports a repair or audit request for an archive the
+// service has never stored.
+var ErrUnknownRoot = errors.New("archive: unknown archive root")
+
+// RepairRoot reconstructs one archive from whatever reachable fragments
+// still verify and re-disperses a fresh fragment set, skipping nodes in
+// exclude (the auditor passes its disreputable set, so repair moves
+// data off suspected liars).  On success any outstanding damage record
+// for the root is cleared.  Errors are never silent: an unrecoverable
+// archive returns the decode error and bumps archive/repair_failed.
+func (s *Service) RepairRoot(root guid.GUID, domainRank []int, exclude map[simnet.NodeID]bool) error {
+	placement, ok := s.where[root]
+	if !ok {
+		return s.repairFailed(root, ErrUnknownRoot)
+	}
+	cfg := s.cfgs[root]
+	// Gather whatever is reachable; Decode filters non-verifying
+	// fragments itself, so rotted or garbled copies cannot poison the
+	// reconstruction.
+	var frags []StoredFragment
+	for idx, nid := range placement {
+		if s.net.Node(nid).Down {
+			continue
+		}
+		if sf, ok := s.stores[nid].Get(root, idx); ok {
+			frags = append(frags, sf)
+		}
+	}
+	data, err := Decode(frags, cfg)
+	if err != nil {
+		return s.repairFailed(root, fmt.Errorf("archive: repair cannot reconstruct %v: %w", root, err))
+	}
+	newRoot, newFrags, err := Encode(data, cfg)
+	if err != nil {
+		return s.repairFailed(root, err)
+	}
+	if newRoot != root {
+		// Same data and config reproduce the same fragment set and
+		// root, so this cannot diverge; guard anyway.
+		return s.repairFailed(root, errors.New("archive: repair re-encode diverged from root"))
+	}
+	nodes := s.nodes()
+	if len(exclude) > 0 {
+		var kept []*simnet.Node
+		for _, n := range nodes {
+			if !exclude[n.ID] {
+				kept = append(kept, n)
+			}
+		}
+		// Excluding every live node would make repair impossible; data
+		// on a suspect beats no data at all.
+		if len(kept) > 0 {
+			nodes = kept
+		}
+	}
+	newPlacement, err := Disperse(len(newFrags), nodes, domainRank, root.Uint64()+1)
+	if err != nil {
+		return s.repairFailed(root, err)
+	}
+	for i, f := range newFrags {
+		if err := s.stores[newPlacement[i]].Put(f); err == nil {
+			s.where[root][i] = newPlacement[i]
+		}
+	}
+	delete(s.damagedAt, root)
+	if s.om != nil {
+		s.om.repairs.Inc()
+	}
+	if s.otr != nil {
+		s.otr.Emit(obs.Event{
+			T: int64(s.net.K.Now()), Node: -1, Peer: -1,
+			Layer: "archive", Event: "repair", ID: root.Uint64(),
+		})
+	}
+	return nil
+}
+
+// repairFailed accounts one failed repair and returns its error.
+func (s *Service) repairFailed(root guid.GUID, err error) error {
+	if s.om != nil {
+		s.om.repairFailed.Inc()
+	}
+	if s.otr != nil {
+		s.otr.Emit(obs.Event{
+			T: int64(s.net.K.Now()), Node: -1, Peer: -1,
+			Layer: "archive", Event: "repair-fail", ID: root.Uint64(),
+		})
+	}
+	return err
+}
+
 // RepairSweep walks every archive; when live redundancy has fallen to
 // or below threshold fragments, it reconstructs the data locally and
 // re-disperses a fresh fragment set (§4.5: processes that "slowly sweep
 // through all existing archival data, repairing ... to further increase
-// durability").  It returns the roots repaired.  Repair fails silently
-// for archives that are already unrecoverable.
-func (s *Service) RepairSweep(threshold int, domainRank []int) []guid.GUID {
+// durability").  It returns the roots repaired plus a per-root error
+// map for the archives whose repair was attempted and failed — an
+// unrecoverable archive is an operator-visible fact, not a silent skip
+// (failures also count under archive/repair_failed).
+func (s *Service) RepairSweep(threshold int, domainRank []int) ([]guid.GUID, map[guid.GUID]error) {
 	var repaired []guid.GUID
+	var failed map[guid.GUID]error
 	var roots []guid.GUID
 	for root := range s.where {
 		roots = append(roots, root)
@@ -382,46 +496,14 @@ func (s *Service) RepairSweep(threshold int, domainRank []int) []guid.GUID {
 		if s.LiveFragments(root) > threshold {
 			continue
 		}
-		cfg := s.cfgs[root]
-		// Gather whatever is reachable.
-		var frags []StoredFragment
-		for idx, nid := range s.where[root] {
-			if s.net.Node(nid).Down {
-				continue
+		if err := s.RepairRoot(root, domainRank, nil); err != nil {
+			if failed == nil {
+				failed = make(map[guid.GUID]error)
 			}
-			if sf, ok := s.stores[nid].Get(root, idx); ok {
-				frags = append(frags, sf)
-			}
-		}
-		data, err := Decode(frags, cfg)
-		if err != nil {
+			failed[root] = err
 			continue
-		}
-		newRoot, newFrags, err := Encode(data, cfg)
-		if err != nil || newRoot != root {
-			// Same data and config reproduce the same fragment set and
-			// root, so this cannot diverge; guard anyway.
-			continue
-		}
-		placement, err := Disperse(len(newFrags), s.nodes(), domainRank, root.Uint64()+1)
-		if err != nil {
-			continue
-		}
-		for i, f := range newFrags {
-			if err := s.stores[placement[i]].Put(f); err == nil {
-				s.where[root][i] = placement[i]
-			}
-		}
-		if s.om != nil {
-			s.om.repairs.Inc()
-		}
-		if s.otr != nil {
-			s.otr.Emit(obs.Event{
-				T: int64(s.net.K.Now()), Node: -1, Peer: -1,
-				Layer: "archive", Event: "repair", ID: root.Uint64(),
-			})
 		}
 		repaired = append(repaired, root)
 	}
-	return repaired
+	return repaired, failed
 }

@@ -1,0 +1,252 @@
+package audit_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/audit"
+	"oceanstore/internal/sim"
+	"oceanstore/internal/simnet"
+)
+
+// auditWorld builds a 16-store world with three archives and a default
+// fast-cadence auditor config.
+func auditWorld(t *testing.T, seed int64) (*sim.Kernel, *simnet.Network, *archive.Service) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net := simnet.New(k, simnet.Config{BaseLatency: 10 * time.Millisecond})
+	nodes := net.AddRandomNodes(16, 100, 4)
+	svc := archive.NewService(net, nodes)
+	cfg := archive.Config{DataShards: 4, TotalFragments: 16}
+	for i := 0; i < 3; i++ {
+		data := make([]byte, 1200)
+		rand.New(rand.NewSource(seed + int64(i))).Read(data)
+		if _, err := svc.Archive(data, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, net, svc
+}
+
+func fastCfg() audit.Config {
+	return audit.Config{
+		Interval:    time.Minute,
+		SampleRoots: 3,
+		PollPeers:   4,
+	}
+}
+
+func TestHealthyWorldStaysQuiet(t *testing.T) {
+	k, net, svc := auditWorld(t, 1)
+	a := audit.New(net, svc, fastCfg())
+	a.Start()
+	k.RunUntil(time.Hour)
+	st := a.Stats()
+	if st.Polls == 0 || st.Agrees == 0 {
+		t.Fatalf("auditor idle in a healthy world: %+v", st)
+	}
+	if st.Detections != 0 || st.Disagrees != 0 || st.Repairs != 0 {
+		t.Fatalf("false alarms in a healthy world: %+v", st)
+	}
+	if st.Healthy == 0 {
+		t.Fatalf("no clean bills of health issued: %+v", st)
+	}
+}
+
+func TestAuditDetectsAndRepairsBitRot(t *testing.T) {
+	k, net, svc := auditWorld(t, 3)
+	a := audit.New(net, svc, fastCfg())
+	a.Start()
+
+	// Rot several fragments at t=5m.
+	k.RunUntil(5 * time.Minute)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		if _, ok := svc.CorruptRandom(simnet.NodeID(i), rng); !ok {
+			t.Fatalf("node %d held nothing", i)
+		}
+	}
+	if len(svc.DamagedRoots()) == 0 {
+		t.Fatal("no damage recorded")
+	}
+
+	k.RunUntil(60 * time.Minute)
+	st := a.Stats()
+	if st.Detections == 0 {
+		t.Fatalf("auditor never detected the rot: %+v", st)
+	}
+	if st.Repairs == 0 {
+		t.Fatalf("auditor never repaired: %+v", st)
+	}
+	if left := svc.DamagedRoots(); len(left) != 0 {
+		t.Fatalf("unrepaired damage remains: %v (stats %+v)", left, st)
+	}
+	if svc.CountBadFragments() != 0 {
+		t.Fatal("bad fragments survive on disk after repair")
+	}
+	if a.DetectionLatency.Count() == 0 {
+		t.Fatal("no detection latency observed")
+	}
+}
+
+func TestWithoutAuditorRotPersists(t *testing.T) {
+	k, _, svc := auditWorld(t, 3)
+	// Same world, no auditor: damage stays forever.
+	k.RunUntil(5 * time.Minute)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		svc.CorruptRandom(simnet.NodeID(i), rng)
+	}
+	k.RunUntil(60 * time.Minute)
+	if len(svc.DamagedRoots()) == 0 {
+		t.Fatal("control run lost its damage records")
+	}
+	if svc.CountBadFragments() == 0 {
+		t.Fatal("control run has no bad fragments")
+	}
+}
+
+func TestReputationIsolatesByzantineStores(t *testing.T) {
+	k, net, svc := auditWorld(t, 5)
+	liars := []simnet.NodeID{1, 4}
+	for _, l := range liars {
+		svc.SetByzantine(l, true)
+	}
+	a := audit.New(net, svc, fastCfg())
+	a.Start()
+	k.RunUntil(90 * time.Minute)
+
+	suspects := a.Suspected()
+	want := map[simnet.NodeID]bool{1: true, 4: true}
+	for _, s := range suspects {
+		if !want[s] {
+			t.Fatalf("honest node %d falsely suspected (suspects %v)", s, suspects)
+		}
+	}
+	if len(suspects) != len(liars) {
+		t.Fatalf("suspects = %v, want exactly %v", suspects, liars)
+	}
+	// Honest nodes keep full reputation.
+	for _, id := range svc.StoreNodes() {
+		if want[id] {
+			continue
+		}
+		if a.Reputation(id) < 1 {
+			t.Fatalf("honest node %d lost reputation: %v", id, a.Reputation(id))
+		}
+	}
+}
+
+func TestDisableReputationNeverSuspects(t *testing.T) {
+	k, net, svc := auditWorld(t, 5)
+	for _, l := range []simnet.NodeID{1, 4} {
+		svc.SetByzantine(l, true)
+	}
+	cfg := fastCfg()
+	cfg.DisableReputation = true
+	a := audit.New(net, svc, cfg)
+	a.Start()
+	k.RunUntil(90 * time.Minute)
+	if s := a.Suspected(); len(s) != 0 {
+		t.Fatalf("reputation disabled but suspects exist: %v", s)
+	}
+}
+
+func TestVoteBudgetBoundsReplies(t *testing.T) {
+	k, net, svc := auditWorld(t, 9)
+	cfg := fastCfg()
+	cfg.MaxVotesPerInterval = 2
+	a := audit.New(net, svc, cfg)
+	a.Start()
+
+	// Flood one holder with polls far beyond its budget.
+	root := svc.Roots()[0]
+	victim := svc.HoldersOf(root)[0]
+	attacker := svc.HoldersOf(root)[1]
+	k.RunUntil(time.Minute + time.Second)
+	before := a.Stats().VotesServed
+	for i := 0; i < 100; i++ {
+		net.Send(attacker, victim, audit.KindPoll, audit.ForgePoll(root, attacker, uint64(1000+i)), 48)
+	}
+	k.RunFor(30 * time.Second) // within the same tick
+	served := a.Stats().VotesServed - before
+	if served > 2 {
+		t.Fatalf("vote budget 2 but served %d this interval", served)
+	}
+	if a.Stats().VotesSuppressed < 90 {
+		t.Fatalf("suppression did not absorb the flood: %+v", a.Stats())
+	}
+}
+
+func TestDisableRateLimitAmplifies(t *testing.T) {
+	k, net, svc := auditWorld(t, 9)
+	cfg := fastCfg()
+	cfg.MaxVotesPerInterval = 2
+	cfg.DisableRateLimit = true
+	a := audit.New(net, svc, cfg)
+	a.Start()
+	root := svc.Roots()[0]
+	victim := svc.HoldersOf(root)[0]
+	attacker := svc.HoldersOf(root)[1]
+	k.RunUntil(time.Minute + time.Second)
+	before := a.Stats().VotesServed
+	for i := 0; i < 100; i++ {
+		net.Send(attacker, victim, audit.KindPoll, audit.ForgePoll(root, attacker, uint64(1000+i)), 48)
+	}
+	k.RunFor(30 * time.Second)
+	if served := a.Stats().VotesServed - before; served < 90 {
+		t.Fatalf("rate limit disabled but only %d votes served", served)
+	}
+}
+
+func TestBackoffSuppressesRepolls(t *testing.T) {
+	// Partition the world so polls go unanswered: with backoff the poll
+	// volume collapses; without it, every tick polls at full rate.
+	pollsWith := pollsUnderPartition(t, false)
+	pollsWithout := pollsUnderPartition(t, true)
+	if pollsWith*2 >= pollsWithout {
+		t.Fatalf("backoff did not reduce poll volume: with=%d without=%d", pollsWith, pollsWithout)
+	}
+}
+
+func pollsUnderPartition(t *testing.T, disableBackoff bool) int64 {
+	t.Helper()
+	k, net, svc := auditWorld(t, 11)
+	cfg := fastCfg()
+	cfg.DisableBackoff = disableBackoff
+	a := audit.New(net, svc, cfg)
+	a.Start()
+	// Every node alone: all polls die at the partition boundary.
+	for _, id := range svc.StoreNodes() {
+		net.SetPartition(id, int(id))
+	}
+	k.RunUntil(4 * time.Hour)
+	st := a.Stats()
+	if st.Inconclusive == 0 {
+		t.Fatalf("partition produced no inconclusive polls (disableBackoff=%v)", disableBackoff)
+	}
+	return st.Polls
+}
+
+func TestAuditTrafficIsDeterministic(t *testing.T) {
+	run := func() (audit.Stats, int64, int64) {
+		k, net, svc := auditWorld(t, 13)
+		a := audit.New(net, svc, fastCfg())
+		a.Start()
+		k.RunUntil(5 * time.Minute)
+		rng := rand.New(rand.NewSource(3))
+		svc.CorruptRandom(2, rng)
+		k.RunUntil(2 * time.Hour)
+		return a.Stats(), net.KindBytes(audit.KindPoll), net.KindBytes(audit.KindVote)
+	}
+	s1, p1, v1 := run()
+	s2, p2, v2 := run()
+	if s1 != s2 || p1 != p2 || v1 != v2 {
+		t.Fatalf("same seed diverged: %+v/%d/%d vs %+v/%d/%d", s1, p1, v1, s2, p2, v2)
+	}
+	if p1 == 0 || v1 == 0 {
+		t.Fatal("no audit traffic on the wire")
+	}
+}

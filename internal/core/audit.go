@@ -1,0 +1,41 @@
+package core
+
+import (
+	"sort"
+
+	"oceanstore/internal/audit"
+	"oceanstore/internal/guid"
+)
+
+// StartAudit arms the LOCKSS-style fragment auditor over the pool's
+// archival service: every storage node samples, polls co-holders, and
+// triggers targeted repair on damning verdicts.  The auditor inherits
+// the pool's observability sinks.
+func (p *Pool) StartAudit(cfg audit.Config) *audit.Auditor {
+	a := audit.New(p.Net, p.Arch, cfg)
+	if p.obsReg != nil || p.obsTr != nil {
+		a.Instrument(p.obsReg, p.obsTr)
+	}
+	a.Start()
+	return a
+}
+
+// StartReplicaAudit arms the replica-tier digest auditor over every
+// object ring in the pool.  Rings are registered in object-GUID order
+// so runs stay a pure function of the seed.
+func (p *Pool) StartReplicaAudit(cfg audit.Config) *audit.ReplicaAuditor {
+	ra := audit.NewReplicaAuditor(p.Net, cfg)
+	objs := make([]guid.GUID, 0, len(p.objects))
+	for obj := range p.objects {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
+	for _, obj := range objs {
+		ra.AddRing(p.objects[obj].ring)
+	}
+	if p.obsReg != nil {
+		ra.Instrument(p.obsReg)
+	}
+	ra.Start()
+	return ra
+}

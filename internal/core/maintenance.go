@@ -52,7 +52,9 @@ func (p *Pool) StartMaintenance(cfg MaintenanceConfig) (stop func()) {
 	}
 	if cfg.ArchiveSweep > 0 {
 		cancels = append(cancels, p.K.Every(cfg.ArchiveSweep, func() {
-			p.Arch.RepairSweep(cfg.ArchiveThreshold, nil)
+			// Failed repairs are already counted under archive/repair_failed;
+			// the periodic sweep has no caller to hand the errors to.
+			_, _ = p.Arch.RepairSweep(cfg.ArchiveThreshold, nil)
 		}))
 	}
 	if cfg.TreeRepair > 0 {

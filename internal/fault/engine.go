@@ -15,6 +15,12 @@ type Engine struct {
 	// RuleDrops counts drops per link rule (parallel to plan.Links), a
 	// diagnostic for tests and experiments.
 	RuleDrops []int
+	// DataHits counts data-plane fault strikes (fragments rotted or
+	// wiped) once BindData has armed them; DataHitNodes breaks the
+	// count down per store, so scenarios can separate "this node's disk
+	// really was attacked" from false accusation.
+	DataHits     int
+	DataHitNodes map[simnet.NodeID]int
 	// armed gates the link rules so Uninstall is effective even though
 	// scheduled kernel events cannot be revoked.
 	armed bool
@@ -27,7 +33,12 @@ type Engine struct {
 // faults.  Install replaces any previously installed plan's link
 // rules; scheduled events of earlier plans remain queued.
 func Install(net *simnet.Network, plan Plan) *Engine {
-	e := &Engine{net: net, plan: plan, RuleDrops: make([]int, len(plan.Links)), armed: true}
+	e := &Engine{
+		net: net, plan: plan,
+		RuleDrops:    make([]int, len(plan.Links)),
+		DataHitNodes: make(map[simnet.NodeID]int),
+		armed:        true,
+	}
 	for _, c := range plan.Churn {
 		if c.Up {
 			net.RecoverAt(c.At, c.Node)

@@ -112,6 +112,9 @@ type Plan struct {
 	Links      []LinkRule
 	Churn      []ChurnEvent
 	Partitions []PartitionEvent
+	// Data lists data-plane faults (bit rot, Byzantine stores, disk
+	// wipes); they act on a storage layer bound via Engine.BindData.
+	Data []DataFault
 }
 
 // ---- Builders: the fluent surface tests and experiments use ----

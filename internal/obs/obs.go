@@ -266,6 +266,17 @@ func (r *Registry) Counter(node int, layer, name string) *Counter {
 	return c
 }
 
+// CounterValue reads a counter without creating it: a missing key
+// reads as zero and leaves the registry untouched.  Invariant checks
+// and tests use this so that *reading* a dump-visible metric can never
+// add keys to the dump (Counter's get-or-create would).
+func (r *Registry) CounterValue(node int, layer, name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[Key{Node: node, Layer: layer, Name: name}].Value()
+}
+
 // Gauge returns the gauge for (node, layer, name), creating it on
 // first use; nil registry gives a nil handle.
 func (r *Registry) Gauge(node int, layer, name string) *Gauge {

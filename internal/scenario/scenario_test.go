@@ -1,0 +1,75 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"oceanstore/internal/scenario"
+)
+
+// TestEveryScenarioPassesArmed is the suite's core claim, half one:
+// with its defense armed, every catalogued scenario's invariants hold.
+func TestEveryScenarioPassesArmed(t *testing.T) {
+	for _, sc := range scenario.Catalogue() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := sc.Run(scenario.Options{Seed: 42, Defense: true})
+			if !res.Pass() {
+				t.Fatalf("%s armed run violated invariants:\n  %v\nmetrics: %v",
+					sc.Name, res.Violations, res.Metrics)
+			}
+		})
+	}
+}
+
+// TestEveryScenarioFailsDisarmed is half two: switching off exactly the
+// defense under test breaks the same invariants.  A defense whose
+// absence changes nothing defends nothing.
+func TestEveryScenarioFailsDisarmed(t *testing.T) {
+	for _, sc := range scenario.Catalogue() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := sc.Run(scenario.Options{Seed: 42, Defense: false})
+			if res.Pass() {
+				t.Fatalf("%s passed with its defense (%s) OFF — the scenario proves nothing\nmetrics: %v",
+					sc.Name, sc.Defense, res.Metrics)
+			}
+		})
+	}
+}
+
+// TestScenariosAreDeterministic: same (seed, defense) → identical
+// violations and metrics.
+func TestScenariosAreDeterministic(t *testing.T) {
+	for _, sc := range scenario.Catalogue() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a := sc.Run(scenario.Options{Seed: 7, Defense: true})
+			b := sc.Run(scenario.Options{Seed: 7, Defense: true})
+			if len(a.Violations) != len(b.Violations) {
+				t.Fatalf("violation count differs across identical runs: %v vs %v", a.Violations, b.Violations)
+			}
+			for i := range a.Violations {
+				if a.Violations[i] != b.Violations[i] {
+					t.Fatalf("violation %d differs: %q vs %q", i, a.Violations[i], b.Violations[i])
+				}
+			}
+			if len(a.Metrics) != len(b.Metrics) {
+				t.Fatalf("metric count differs: %v vs %v", a.Metrics, b.Metrics)
+			}
+			for i := range a.Metrics {
+				if a.Metrics[i] != b.Metrics[i] {
+					t.Fatalf("metric %d differs: %v vs %v", i, a.Metrics[i], b.Metrics[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := scenario.Find("bitrot-drizzle"); !ok {
+		t.Fatal("bitrot-drizzle missing from catalogue")
+	}
+	if _, ok := scenario.Find("no-such"); ok {
+		t.Fatal("Find invented a scenario")
+	}
+}

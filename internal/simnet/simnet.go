@@ -638,6 +638,13 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
+// KindBytes returns the bytes sent so far under one message kind
+// without copying the whole Stats maps — cheap enough for per-tick
+// rate-cap watchdogs (the audit layer polices its own traffic with it).
+func (n *Network) KindBytes(kind string) int64 {
+	return n.stats.ByKind[kind]
+}
+
 // ResetStats zeroes the traffic counters, so an experiment can measure
 // one protocol run in isolation.
 func (n *Network) ResetStats() {
