@@ -5,11 +5,12 @@ GO ?= go
 # over these runs with GOMAXPROCS=4 so the pool actually forks even on
 # small CI machines.
 PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
-	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/
+	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/ \
+	./internal/sim/ ./internal/simnet/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate cover cover-write soak-smoke scenarios-smoke
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 cover cover-write soak-smoke scenarios-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke bench-gate-pr7
 
 vet:
 	$(GO) vet ./...
@@ -64,19 +65,23 @@ cover:
 cover-write:
 	$(GO) test -cover ./... | $(GO) run ./cmd/coverfloor -floors cover/FLOORS.txt -write
 
-# Determinism gate for the soak engine: the same seeded soak must emit
-# byte-identical metrics and summary at GOMAXPROCS 1 and 4.  Sized to
-# finish in seconds; the full-scale run is
-#   osexp -metrics soak.txt soak 1 -nodes 10000 -ops 1000000
+# Determinism gate for the soak engine at scale: the same seeded
+# 100k-node soak must emit byte-identical metrics and summary at
+# GOMAXPROCS 1 and 4, and at any kernel shard count (-shards 1 vs the
+# default region-scaled sharding).  The full-scale run is
+#   osexp -metrics soak.txt soak 1 -nodes 1000000 -ops 1000000
 soak-smoke:
 	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
 	tmp=$$(mktemp -d); \
-	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 512 -ops 10000 > $$tmp/out1.txt || exit 1; \
-	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt soak 1 -nodes 512 -ops 10000 > $$tmp/out4.txt || exit 1; \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 100000 -ops 10000 > $$tmp/out1.txt || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt soak 1 -nodes 100000 -ops 10000 > $$tmp/out4.txt || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/ms1.txt soak 1 -nodes 100000 -ops 10000 -shards 1 > $$tmp/outs1.txt || exit 1; \
 	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "soak-smoke: metrics differ across GOMAXPROCS"; exit 1; fi; \
 	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "soak-smoke: summaries differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/m4.txt $$tmp/ms1.txt; then echo "soak-smoke: metrics differ across shard counts"; exit 1; fi; \
+	if ! cmp -s $$tmp/out4.txt $$tmp/outs1.txt; then echo "soak-smoke: summaries differ across shard counts"; exit 1; fi; \
 	rm -rf $$tmp; \
-	echo "soak-smoke: byte-identical at GOMAXPROCS 1 and 4"
+	echo "soak-smoke: 100k nodes byte-identical at GOMAXPROCS 1 and 4 and at shards 1 vs default"
 
 # Adversarial gate: run the whole scenario catalogue — every defense
 # armed (invariants must hold) and switched off (invariants must
@@ -109,3 +114,15 @@ GATE_PCT ?= 30
 bench-gate:
 	$(GO) test -run '^$$' -bench . -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.txt -gate $(GATE_PCT) -o /dev/null
+
+# PR 7 scale benchmark: end-to-end soak throughput at 10k and 100k
+# nodes against the pre-sharding baseline pinned in
+# bench/BASELINE_PR7.txt.  The gate fails if throughput falls back
+# toward the pre-PR numbers; BENCH_PR7.json records the speedup.
+bench-json-pr7:
+	$(GO) test -run '^$$' -bench SoakOpsPerCore -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR7.txt -o BENCH_PR7.json
+
+bench-gate-pr7:
+	$(GO) test -run '^$$' -bench SoakOpsPerCore -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR7.txt -gate $(GATE_PCT) -o /dev/null

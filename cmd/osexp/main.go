@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -262,11 +264,53 @@ func openSinks(metricsPath, tracePath string) (*obsOut, func(), error) {
 	}, nil
 }
 
+// startProfiles begins CPU profiling and arranges a heap dump; the
+// returned stop function finishes both.  Profiles cover the experiment
+// run itself (flag parsing and sink setup are negligible), so any
+// subcommand can hand pprof captures to future perf work without
+// ad-hoc patching.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "osexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "osexp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "osexp: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialise live-heap numbers before the dump
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "osexp: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}
+
 func main() {
 	fs := flag.NewFlagSet("osexp", flag.ExitOnError)
 	nSeeds := fs.Int("seeds", 1, "run the experiment over N consecutive seeds in parallel")
 	metricsPath := fs.String("metrics", "", "write deterministic metrics as Benchmark lines to `FILE` (\"-\" for stdout)")
 	tracePath := fs.String("trace", "", "write per-message trace events as JSONL to `FILE` (\"-\" for stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `FILE`")
+	memProfile := fs.String("memprofile", "", "write a pprof allocs profile (with live-heap numbers) to `FILE`")
 	fs.Usage = usage
 	fs.Parse(os.Args[1:])
 	args := fs.Args()
@@ -316,12 +360,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "osexp: %v\n", err)
 		os.Exit(1)
 	}
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	for _, e := range list {
 		runOne(e, seed, *nSeeds, oo)
 		if name == "all" {
 			fmt.Println()
 		}
 	}
+	stopProfiles()
 	closeSinks()
 }
 
@@ -336,6 +382,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  -seeds N       run over seeds seed..seed+N-1 in parallel, with an aggregate row")
 	fmt.Fprintln(os.Stderr, "  -metrics FILE  dump deterministic counters/histograms as Benchmark lines")
 	fmt.Fprintln(os.Stderr, "  -trace FILE    dump per-message trace events as JSONL (instrumented experiments)")
+	fmt.Fprintln(os.Stderr, "  -cpuprofile FILE  write a pprof CPU profile of the run")
+	fmt.Fprintln(os.Stderr, "  -memprofile FILE  write a pprof allocs profile of the run")
 	fmt.Fprintln(os.Stderr, "soak flags (after the seed): -nodes -ops -clients -objects -write -create -zipf")
 	fmt.Fprintln(os.Stderr, "  -size -think -openloop -arrival -maxinflight -churn -downfor -grow -growat")
 	fmt.Fprintln(os.Stderr, "scenarios flags (after the seed): -only NAME -armedonly -interval D")

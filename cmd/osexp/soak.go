@@ -33,6 +33,7 @@ var soakOpts = struct {
 	downFor  time.Duration
 	grow     int
 	growAt   time.Duration
+	shards   int
 }{
 	nodes:   256,
 	ops:     4000,
@@ -67,6 +68,7 @@ func soakFlagSet() *flag.FlagSet {
 	fs.DurationVar(&o.downFor, "downfor", o.downFor, "how long a bounced node stays down")
 	fs.IntVar(&o.grow, "grow", o.grow, "nodes to add mid-run (0 disables growth)")
 	fs.DurationVar(&o.growAt, "growat", o.growAt, "virtual time of the growth burst")
+	fs.IntVar(&o.shards, "shards", o.shards, "kernel event-queue shards (0 = scale with nodes; output is identical at any value)")
 	return fs
 }
 
@@ -84,6 +86,9 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	}
 	if o.maxInfl > 0 {
 		cfg.MaxInFlight = o.maxInfl
+	}
+	if o.shards > 0 {
+		cfg.Shards = o.shards
 	}
 	world, err := core.NewSoakWorld(seed, cfg)
 	if err != nil {

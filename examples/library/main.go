@@ -57,7 +57,7 @@ func main() {
 	// primary tier of the target object.
 	downed := 0
 	for i := 0; i < cfg.Nodes/3; i++ {
-		world.Pool.Net.Node(simnet.NodeID(i)).Down = true
+		world.Pool.Net.Node(simnet.NodeID(i)).SetDown(true)
 		downed++
 	}
 	fmt.Printf("\ndisaster: %d servers destroyed (including the object's primary tier)\n", downed)

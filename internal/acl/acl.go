@@ -35,13 +35,33 @@ type Entry struct {
 	Priv   Privilege
 }
 
-// ACL is an ordered, publicly readable list of grants.
+// ACL is an ordered, publicly readable list of grants.  ACLs are
+// built by appending entries and are immutable thereafter; rewriting
+// an existing entry in place after GUID has been called is not
+// supported (issue a new ACL and re-certify instead, which is the
+// revocation model anyway).
 type ACL struct {
 	Entries []Entry
+
+	// guidMemo caches the content address; guidLen is the entry count
+	// it was computed over, so appends invalidate it.
+	guidMemo guid.GUID
+	guidLen  int
+	guidSet  bool
 }
 
-// GUID content-addresses the ACL, so certificates can name it.
-func (a *ACL) GUID() guid.GUID { return guid.FromData(a.encode()) }
+// GUID content-addresses the ACL, so certificates can name it.  The
+// digest is memoised: every server certifying or registering the same
+// shared ACL would otherwise re-encode it per object.
+func (a *ACL) GUID() guid.GUID {
+	if a.guidSet && a.guidLen == len(a.Entries) {
+		return a.guidMemo
+	}
+	a.guidMemo = guid.FromData(a.encode())
+	a.guidLen = len(a.Entries)
+	a.guidSet = true
+	return a.guidMemo
+}
 
 func (a *ACL) encode() []byte {
 	buf := []byte{byte(len(a.Entries))}

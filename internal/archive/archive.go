@@ -198,13 +198,13 @@ type Placement map[int]simnet.NodeID
 // last.  Nodes that are down are skipped.  The seed rotates the
 // starting node within every domain, so successive archives spread over
 // different servers instead of piling onto each domain's first few.
-func Disperse(f int, nodes []*simnet.Node, domainRank []int, seed uint64) (Placement, error) {
-	byDomain := map[int][]*simnet.Node{}
+func Disperse(f int, nodes []simnet.Node, domainRank []int, seed uint64) (Placement, error) {
+	byDomain := map[int][]simnet.Node{}
 	for _, n := range nodes {
-		if n.Down {
+		if n.Down() {
 			continue
 		}
-		byDomain[n.Domain] = append(byDomain[n.Domain], n)
+		byDomain[n.Domain()] = append(byDomain[n.Domain()], n)
 	}
 	if len(byDomain) == 0 {
 		return nil, errors.New("archive: no live nodes to disperse onto")
@@ -267,7 +267,7 @@ func Disperse(f int, nodes []*simnet.Node, domainRank []int, seed uint64) (Place
 func DomainSpread(p Placement, net *simnet.Network) (domains, maxPerDomain int) {
 	count := map[int]int{}
 	for _, nid := range p {
-		count[net.Node(nid).Domain]++
+		count[net.Node(nid).Domain()]++
 	}
 	for _, c := range count {
 		if c > maxPerDomain {

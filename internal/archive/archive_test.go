@@ -152,8 +152,8 @@ func TestDisperseSkipsDownNodesAndRanksDomains(t *testing.T) {
 	net := simnet.New(k, simnet.Config{})
 	nodes := net.AddRandomNodes(20, 100, 4)
 	for _, n := range nodes {
-		if n.Domain == 2 {
-			n.Down = true
+		if n.Domain() == 2 {
+			n.SetDown(true)
 		}
 	}
 	placement, err := Disperse(16, nodes, []int{3, 1, 0}, 7)
@@ -161,16 +161,16 @@ func TestDisperseSkipsDownNodesAndRanksDomains(t *testing.T) {
 		t.Fatal(err)
 	}
 	for idx, nid := range placement {
-		if net.Node(nid).Down {
+		if net.Node(nid).Down() {
 			t.Fatalf("fragment %d placed on a down node", idx)
 		}
-		if net.Node(nid).Domain == 2 {
+		if net.Node(nid).Domain() == 2 {
 			t.Fatalf("fragment %d placed in dead domain", idx)
 		}
 	}
 	// All nodes down: error.
 	for _, n := range nodes {
-		n.Down = true
+		n.SetDown(true)
 	}
 	if _, err := Disperse(4, nodes, nil, 0); err == nil {
 		t.Fatal("dispersal onto dead fleet accepted")
@@ -294,7 +294,7 @@ func TestRetrieveSurvivesNodeFailures(t *testing.T) {
 	// Kill half the fleet (not node 0, the requester).
 	down := 0
 	for i := 1; i < 30 && down < 15; i += 2 {
-		net.Node(simnet.NodeID(i)).Down = true
+		net.Node(simnet.NodeID(i)).SetDown(true)
 		down++
 	}
 	var got []byte
@@ -319,7 +319,7 @@ func TestRepairSweepRestoresRedundancy(t *testing.T) {
 			break
 		}
 		if nid != 0 && !killed[nid] {
-			net.Node(nid).Down = true
+			net.Node(nid).SetDown(true)
 			killed[nid] = true
 		}
 	}

@@ -35,8 +35,19 @@ type fragmentMsg struct {
 // objects with configurable over-request, and sweeps for decayed
 // archives.
 type Service struct {
-	net    *simnet.Network
+	net *simnet.Network
+	// member[id] marks storage members; stores materialize lazily on
+	// first fragment, so a million-member service costs one bool per
+	// node until data actually lands.
+	member []bool
 	stores map[simnet.NodeID]*NodeStore
+	// rings[d] lists domain d's members in admission order; domainIDs
+	// keeps the member domains sorted.  Dispersal walks these rings
+	// with per-archive cursors — O(fragments + domains) per archive —
+	// instead of rebuilding a by-domain partition of all n nodes, which
+	// is what made 4096-object million-node worlds unconstructible.
+	rings     map[int][]simnet.NodeID
+	domainIDs []int
 	// location: archive root -> fragment index -> holder.  In the full
 	// system this index lives in the Plaxton mesh (fragment GUIDs are
 	// published like any entity); the service keeps it directly so the
@@ -44,9 +55,8 @@ type Service struct {
 	where map[guid.GUID]Placement
 	cfgs  map[guid.GUID]Config
 
-	nextRid    uint64
-	inflight   map[uint64]*retrievalState
-	requesters map[simnet.NodeID]bool
+	nextRid  uint64
+	inflight map[uint64]*retrievalState
 
 	// byz marks Byzantine storage nodes: they acknowledge everything but
 	// serve plausible-looking garbage (right shape, failing hashes) on
@@ -112,28 +122,79 @@ func (s *Service) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	}
 }
 
-// NewService creates the archival service and hooks the given nodes.
-func NewService(net *simnet.Network, nodes []*simnet.Node) *Service {
+// NewService creates the archival service with the given nodes as
+// storage members.  The service attends the whole network through one
+// global handler instead of a per-member closure, so membership size
+// does not show up in handler registration.
+func NewService(net *simnet.Network, nodes []simnet.Node) *Service {
 	s := &Service{
-		net:        net,
-		stores:     make(map[simnet.NodeID]*NodeStore),
-		where:      make(map[guid.GUID]Placement),
-		cfgs:       make(map[guid.GUID]Config),
-		inflight:   make(map[uint64]*retrievalState),
-		requesters: make(map[simnet.NodeID]bool),
-		byz:        make(map[simnet.NodeID]bool),
-		damagedAt:  make(map[guid.GUID]time.Duration),
+		net:       net,
+		stores:    make(map[simnet.NodeID]*NodeStore),
+		rings:     make(map[int][]simnet.NodeID),
+		where:     make(map[guid.GUID]Placement),
+		cfgs:      make(map[guid.GUID]Config),
+		inflight:  make(map[uint64]*retrievalState),
+		byz:       make(map[simnet.NodeID]bool),
+		damagedAt: make(map[guid.GUID]time.Duration),
 	}
-	for _, n := range nodes {
-		s.stores[n.ID] = NewNodeStore()
-		id := n.ID
-		n.Handle(func(m simnet.Message) { s.handle(id, m) })
-	}
+	s.AddMembers(nodes)
+	net.HandleAll(func(to simnet.NodeID, m simnet.Message) { s.handle(to, m) })
 	return s
 }
 
+// AddMembers admits nodes to the storage membership, extending the
+// per-domain dispersal rings incrementally (O(added), not O(n)).
+// Already-admitted nodes are skipped.
+func (s *Service) AddMembers(nodes []simnet.Node) {
+	maxID := simnet.NodeID(-1)
+	for _, n := range nodes {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	if int(maxID) >= len(s.member) {
+		grown := make([]bool, maxID+1)
+		copy(grown, s.member)
+		s.member = grown
+	}
+	for _, n := range nodes {
+		id := n.ID
+		if s.member[id] {
+			continue
+		}
+		s.member[id] = true
+		d := n.Domain()
+		if len(s.rings[d]) == 0 {
+			i := sort.SearchInts(s.domainIDs, d)
+			s.domainIDs = append(s.domainIDs, 0)
+			copy(s.domainIDs[i+1:], s.domainIDs[i:])
+			s.domainIDs[i] = d
+		}
+		s.rings[d] = append(s.rings[d], id)
+	}
+}
+
+// isMember reports storage membership.
+func (s *Service) isMember(id simnet.NodeID) bool {
+	return int(id) < len(s.member) && s.member[id]
+}
+
+// store returns a member's fragment store, materializing it on first
+// use; nil for non-members.
+func (s *Service) store(id simnet.NodeID) *NodeStore {
+	if !s.isMember(id) {
+		return nil
+	}
+	ns, ok := s.stores[id]
+	if !ok {
+		ns = NewNodeStore()
+		s.stores[id] = ns
+	}
+	return ns
+}
+
 // Store returns a node's fragment store (tests inject disk loss here).
-func (s *Service) Store(id simnet.NodeID) *NodeStore { return s.stores[id] }
+func (s *Service) Store(id simnet.NodeID) *NodeStore { return s.store(id) }
 
 // Archive encodes data, disperses the fragments across domains, and
 // stores them on their chosen nodes.  In the full update path this is
@@ -145,12 +206,12 @@ func (s *Service) Archive(data []byte, cfg Config, domainRank []int) (guid.GUID,
 	if err != nil {
 		return guid.Zero, err
 	}
-	placement, err := Disperse(len(frags), s.nodes(), domainRank, root.Uint64())
+	placement, err := s.disperse(len(frags), domainRank, root.Uint64(), nil)
 	if err != nil {
 		return guid.Zero, err
 	}
 	for i, f := range frags {
-		if err := s.stores[placement[i]].Put(f); err != nil {
+		if err := s.store(placement[i]).Put(f); err != nil {
 			return guid.Zero, err
 		}
 	}
@@ -163,14 +224,65 @@ func (s *Service) Archive(data []byte, cfg Config, domainRank []int) (guid.GUID,
 	return root, nil
 }
 
-func (s *Service) nodes() []*simnet.Node {
-	var out []*simnet.Node
-	for _, n := range s.net.Nodes() {
-		if _, ok := s.stores[n.ID]; ok {
-			out = append(out, n)
+// disperse chooses storage nodes for f fragments from the member
+// rings: domains are visited round-robin in reliability order (same
+// policy as Disperse), and within a domain the ring is walked from a
+// seed-derived offset so successive archives land on different
+// servers.  Down and excluded nodes are skipped at selection time.
+// Cost is O(f + member domains) plus any skipped dead nodes — it never
+// touches the full membership, which is what lets a million-node world
+// archive thousands of objects during construction.
+func (s *Service) disperse(f int, domainRank []int, seed uint64, exclude map[simnet.NodeID]bool) (Placement, error) {
+	if len(s.domainIDs) == 0 {
+		return nil, errors.New("archive: no live nodes to disperse onto")
+	}
+	// Domain visit order: ranked domains first (that have members),
+	// then the remaining member domains in sorted order.
+	order := make([]int, 0, len(s.domainIDs))
+	ranked := make(map[int]bool, len(domainRank))
+	for _, d := range domainRank {
+		if len(s.rings[d]) > 0 && !ranked[d] {
+			order = append(order, d)
+		}
+		ranked[d] = true
+	}
+	for _, d := range s.domainIDs {
+		if !ranked[d] {
+			order = append(order, d)
 		}
 	}
-	return out
+	// Per-domain cursors start at a seed- and domain-derived offset, the
+	// indexed analogue of Disperse's per-archive shuffle: different
+	// archives spread over the whole ring instead of piling onto each
+	// domain's first nodes.
+	cursor := make(map[int]int, len(order))
+	for _, d := range order {
+		cursor[d] = int((seed ^ uint64(d)*0x9e3779b97f4a7c15) % uint64(len(s.rings[d])))
+	}
+	placement := make(Placement, f)
+	di := int(seed % uint64(len(order)))
+	for i := 0; i < f; i++ {
+		placed := false
+		for try := 0; try < len(order) && !placed; try++ {
+			d := order[(di+try)%len(order)]
+			ring := s.rings[d]
+			for probe := 0; probe < len(ring); probe++ {
+				nid := ring[cursor[d]%len(ring)]
+				cursor[d]++
+				if s.net.Node(nid).Down() || exclude[nid] {
+					continue
+				}
+				placement[i] = nid
+				di = (di + try + 1) % len(order)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, errors.New("archive: no live nodes to disperse onto")
+		}
+	}
+	return placement, nil
 }
 
 // Placement exposes where an archive's fragments live.
@@ -184,10 +296,14 @@ func (s *Service) Placement(root guid.GUID) (Placement, bool) {
 func (s *Service) LiveFragments(root guid.GUID) int {
 	live := 0
 	for idx, nid := range s.where[root] {
-		if s.net.Node(nid).Down {
+		if s.net.Node(nid).Down() {
 			continue
 		}
-		if sf, ok := s.stores[nid].Get(root, idx); ok && sf.Verify() {
+		ns := s.stores[nid]
+		if ns == nil {
+			continue
+		}
+		if sf, ok := ns.Get(root, idx); ok && sf.Verify() {
 			live++
 		}
 	}
@@ -216,12 +332,9 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 	if s.om != nil {
 		s.om.fragsNeeded.Add(int64(cfg.DataShards))
 	}
-	// Any node may request a reconstruction; make sure the requester can
-	// receive fragment replies even if it stores no fragments itself.
-	if _, hooked := s.stores[from]; !hooked && !s.requesters[from] {
-		s.requesters[from] = true
-		s.net.Node(from).Handle(func(m simnet.Message) { s.handle(from, m) })
-	}
+	// Any node may request a reconstruction: the service's global
+	// handler already attends every node, so fragment replies reach a
+	// requester that stores no fragments itself.
 	s.nextRid++
 	rid := s.nextRid
 	if s.otr != nil {
@@ -257,7 +370,7 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 			if _, have := st.got[idx]; have {
 				continue
 			}
-			if !s.net.Node(nid).Down {
+			if !s.net.Node(nid).Down() {
 				cands = append(cands, cand{idx, nid})
 			}
 		}
@@ -329,7 +442,11 @@ func (s *Service) Retrieve(from simnet.NodeID, root guid.GUID, extra int, deadli
 func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 	switch p := m.Payload.(type) {
 	case requestMsg:
-		sf, ok := s.stores[id].Get(p.Root, p.Index)
+		ns := s.stores[id]
+		if ns == nil {
+			return
+		}
+		sf, ok := ns.Get(p.Root, p.Index)
 		if !ok {
 			return
 		}
@@ -405,10 +522,14 @@ func (s *Service) RepairRoot(root guid.GUID, domainRank []int, exclude map[simne
 	// reconstruction.
 	var frags []StoredFragment
 	for idx, nid := range placement {
-		if s.net.Node(nid).Down {
+		if s.net.Node(nid).Down() {
 			continue
 		}
-		if sf, ok := s.stores[nid].Get(root, idx); ok {
+		ns := s.stores[nid]
+		if ns == nil {
+			continue
+		}
+		if sf, ok := ns.Get(root, idx); ok {
 			frags = append(frags, sf)
 		}
 	}
@@ -425,26 +546,17 @@ func (s *Service) RepairRoot(root guid.GUID, domainRank []int, exclude map[simne
 		// root, so this cannot diverge; guard anyway.
 		return s.repairFailed(root, errors.New("archive: repair re-encode diverged from root"))
 	}
-	nodes := s.nodes()
-	if len(exclude) > 0 {
-		var kept []*simnet.Node
-		for _, n := range nodes {
-			if !exclude[n.ID] {
-				kept = append(kept, n)
-			}
-		}
+	newPlacement, err := s.disperse(len(newFrags), domainRank, root.Uint64()+1, exclude)
+	if err != nil && len(exclude) > 0 {
 		// Excluding every live node would make repair impossible; data
 		// on a suspect beats no data at all.
-		if len(kept) > 0 {
-			nodes = kept
-		}
+		newPlacement, err = s.disperse(len(newFrags), domainRank, root.Uint64()+1, nil)
 	}
-	newPlacement, err := Disperse(len(newFrags), nodes, domainRank, root.Uint64()+1)
 	if err != nil {
 		return s.repairFailed(root, err)
 	}
 	for i, f := range newFrags {
-		if err := s.stores[newPlacement[i]].Put(f); err == nil {
+		if err := s.store(newPlacement[i]).Put(f); err == nil {
 			s.where[root][i] = newPlacement[i]
 		}
 	}

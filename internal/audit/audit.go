@@ -345,7 +345,7 @@ func (a *Auditor) tick() {
 	a.retryPending()
 	rng := a.net.K.Rand()
 	for _, id := range a.svc.StoreNodes() {
-		if a.net.Node(id).Down {
+		if a.net.Node(id).Down() {
 			continue
 		}
 		if a.svc.Byzantine(id) {

@@ -97,7 +97,7 @@ func (ra *ReplicaAuditor) tick() {
 		}
 		for _, i := range rng.Perm(len(secs))[:want] {
 			sec := secs[i]
-			if ra.net.Node(sec.Node).Down {
+			if ra.net.Node(sec.Node).Down() {
 				continue
 			}
 			// Account the poll/vote round trip: a digest request and a

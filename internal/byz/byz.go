@@ -87,8 +87,51 @@ type CommitCertificate struct {
 	Tag    guid.GUID
 	Seq    uint64
 	Digest guid.GUID
-	// Sigs maps replica index to its signature.
+	// Sigs maps replica index to its signature.  Certificates built by
+	// the protocol carry deferred signatures; call ResolveSigs (Verify
+	// does) before reading Sigs directly.
 	Sigs map[int][]byte
+	// lazy holds the replicas' unevaluated signature promises.
+	lazy map[int]*sigPromise
+}
+
+// sigPromise defers an ed25519 reply signature until somebody actually
+// inspects a commit certificate.  Replies cryptographically bind the
+// replica to its (tag, seq, digest) statement, but in the simulation
+// the overwhelming majority of certificates are never re-verified —
+// signing eagerly made ed25519 scalar multiplication the hottest
+// function in a soak run.  The promise pins the exact statement at
+// reply time (a lying replica's fake digest included), so deferred
+// evaluation is observationally identical to eager signing.
+type sigPromise struct {
+	signer *crypt.Signer
+	msg    []byte
+	sig    []byte
+}
+
+func (p *sigPromise) resolve() []byte {
+	if p.sig == nil {
+		p.sig = p.signer.Sign(p.msg)
+	}
+	return p.sig
+}
+
+// ResolveSigs materializes any deferred replica signatures into Sigs.
+// Manually populated entries (forged-certificate tests) are never
+// overwritten.
+func (c *CommitCertificate) ResolveSigs() {
+	if c == nil || c.lazy == nil {
+		return
+	}
+	if c.Sigs == nil {
+		c.Sigs = make(map[int][]byte, len(c.lazy))
+	}
+	for idx, p := range c.lazy {
+		if _, ok := c.Sigs[idx]; !ok {
+			c.Sigs[idx] = p.resolve()
+		}
+	}
+	c.lazy = nil
 }
 
 // certBytes is the signed statement.
@@ -107,6 +150,7 @@ func (c *CommitCertificate) Verify(pubKeys [][]byte, f int) bool {
 	if c == nil {
 		return false
 	}
+	c.ResolveSigs()
 	msg := certBytes(c.Tag, c.Seq, c.Digest)
 	valid := 0
 	for idx, sig := range c.Sigs {
@@ -154,8 +198,9 @@ type replyMsg struct {
 	ID     guid.GUID
 	Digest guid.GUID
 	From   int
-	// Sig signs (tag, seq, digest) for the offline commit certificate.
-	Sig []byte
+	// Sig promises a signature over (tag, seq, digest) for the offline
+	// commit certificate, evaluated on first inspection.
+	Sig *sigPromise
 }
 
 type viewChangeMsg struct {
@@ -287,7 +332,7 @@ func (g *Group) Executed(i int) []guid.GUID {
 type clientState struct {
 	sent      map[guid.GUID]time.Duration           // submit time
 	replies   map[guid.GUID]map[int]guid.GUID       // req -> replica -> digest
-	sigs      map[guid.GUID]map[int][]byte          // req -> replica -> signature
+	sigs      map[guid.GUID]map[int]*sigPromise     // req -> replica -> signature promise
 	callbacks map[guid.GUID]func(Result)            // completion callbacks
 	seqs      map[guid.GUID]map[uint64]map[int]bool // req -> seq votes
 	done      map[guid.GUID]bool
@@ -304,7 +349,7 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 		cs = &clientState{
 			sent:      make(map[guid.GUID]time.Duration),
 			replies:   make(map[guid.GUID]map[int]guid.GUID),
-			sigs:      make(map[guid.GUID]map[int][]byte),
+			sigs:      make(map[guid.GUID]map[int]*sigPromise),
 			callbacks: make(map[guid.GUID]func(Result)),
 			seqs:      make(map[guid.GUID]map[uint64]map[int]bool),
 			done:      make(map[guid.GUID]bool),
@@ -396,7 +441,7 @@ func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
 	}
 	if cs.replies[rep.ID] == nil {
 		cs.replies[rep.ID] = make(map[int]guid.GUID)
-		cs.sigs[rep.ID] = make(map[int][]byte)
+		cs.sigs[rep.ID] = make(map[int]*sigPromise)
 		cs.seqs[rep.ID] = make(map[uint64]map[int]bool)
 	}
 	cs.replies[rep.ID][rep.From] = rep.Digest
@@ -417,10 +462,10 @@ func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
 		if agree >= g.f+1 {
 			cs.done[rep.ID] = true
 			cb := cs.callbacks[rep.ID]
-			cert := &CommitCertificate{Tag: g.tag, Seq: seq, Digest: rep.ID, Sigs: make(map[int][]byte)}
+			cert := &CommitCertificate{Tag: g.tag, Seq: seq, Digest: rep.ID, lazy: make(map[int]*sigPromise)}
 			for from := range voters {
 				if cs.replies[rep.ID][from] == rep.ID {
-					cert.Sigs[from] = cs.sigs[rep.ID][from]
+					cert.lazy[from] = cs.sigs[rep.ID][from]
 				}
 			}
 			res := Result{

@@ -16,6 +16,7 @@ func TestCommitCertificateVerifiesOffline(t *testing.T) {
 		t.Fatal("no certificate produced")
 	}
 	cert := res.Certificate
+	cert.ResolveSigs()
 	if len(cert.Sigs) < g.F()+1 {
 		t.Fatalf("certificate has %d sigs, need >= %d", len(cert.Sigs), g.F()+1)
 	}
@@ -81,6 +82,7 @@ func TestCertificateExcludesLiars(t *testing.T) {
 	// Lying replicas' signatures (over their fake digest) must not be
 	// counted in the quorum: their entries either are absent or fail
 	// verification against the true statement.
+	res.Certificate.ResolveSigs()
 	for idx := range res.Certificate.Sigs {
 		if idx == 3 || idx == 5 {
 			t.Fatalf("liar %d's signature included in certificate", idx)

@@ -322,7 +322,9 @@ func (r *replica) reply(seq uint64, id guid.GUID, client simnet.NodeID) {
 	if r.fault == Lying {
 		digest = guid.FromData([]byte("lie"))
 	}
-	sig := r.g.signers[r.id].Sign(certBytes(r.g.tag, seq, digest))
+	// The signature is a promise over the exact statement being sent;
+	// ed25519 work happens only if the certificate is later inspected.
+	sig := &sigPromise{signer: r.g.signers[r.id], msg: certBytes(r.g.tag, seq, digest)}
 	r.g.net.Send(r.node(), client, kindReply,
 		replyMsg{Tag: r.g.tag, Seq: seq, ID: id, Digest: digest, From: r.id, Sig: sig}, CReply+crypt.SignatureSize)
 }

@@ -152,7 +152,7 @@ func (s *Session) pickReplica(obj guid.GUID) (*epidemic.Replica, error) {
 	}
 	var best *replica.Secondary
 	for _, sec := range ring.Secondaries() {
-		if sec.Stale || s.c.pool.Net.Node(sec.Node).Down {
+		if sec.Stale || s.c.pool.Net.Node(sec.Node).Down() {
 			continue
 		}
 		if !s.acceptable(obj, sec.Rep) {

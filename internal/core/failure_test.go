@@ -138,7 +138,7 @@ func TestSecondaryChurnDuringUpdates(t *testing.T) {
 		p.Run(20 * time.Second)
 		// Crash one secondary each round; repair the tree.
 		victim := simnet.NodeID(4 + i)
-		p.Net.Node(victim).Down = true
+		p.Net.Node(victim).SetDown(true)
 		ring.Tree().Repair()
 		p.Run(20 * time.Second)
 	}
@@ -150,7 +150,7 @@ func TestSecondaryChurnDuringUpdates(t *testing.T) {
 	// repaired tree).
 	p.Run(2 * time.Minute)
 	for _, sec := range ring.Secondaries() {
-		if p.Net.Node(sec.Node).Down {
+		if p.Net.Node(sec.Node).Down() {
 			continue
 		}
 		key, _ := alice.Keys.Key(obj)

@@ -76,7 +76,7 @@ func (p *Pool) StartMaintenance(cfg MaintenanceConfig) (stop func()) {
 // (the soft-state beacons of §4.3.3, collapsed into a sweep).
 func (p *Pool) syncMeshLiveness() {
 	for i := 0; i < p.cfg.Nodes; i++ {
-		if p.Net.Node(simnet.NodeID(i)).Down {
+		if p.Net.Node(simnet.NodeID(i)).Down() {
 			p.Mesh.RemoveNode(i)
 		} else if p.Mesh.Node(i).Down {
 			p.Mesh.ReviveNode(i)
@@ -89,7 +89,7 @@ func (p *Pool) syncMeshLiveness() {
 func (p *Pool) republishAll() {
 	for obj, st := range p.objects {
 		for _, nid := range st.ring.Tree().Members() {
-			if p.Net.Node(nid).Down || p.Mesh.Node(int(nid)).Down {
+			if p.Net.Node(nid).Down() || p.Mesh.Node(int(nid)).Down {
 				continue
 			}
 			p.Mesh.Publish(int(nid), obj, p.K.Now())

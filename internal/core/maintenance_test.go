@@ -36,7 +36,7 @@ func TestMaintenanceHealsLocationAfterCrashes(t *testing.T) {
 	// Crash nodes including some holders; do NOT call any repair by
 	// hand — maintenance must do it.
 	for _, n := range []simnet.NodeID{0, 1, 5, 6, 7, 10} {
-		p.Net.Node(n).Down = true
+		p.Net.Node(n).SetDown(true)
 	}
 	p.Run(10 * time.Minute)
 
@@ -44,21 +44,21 @@ func TestMaintenanceHealsLocationAfterCrashes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("locate after unattended crashes: %v", err)
 	}
-	if p.Net.Node(holder).Down {
+	if p.Net.Node(holder).Down() {
 		t.Fatalf("located a dead holder %d", holder)
 	}
 	// The dissemination tree self-repaired: no live member parented to a
 	// dead node.
 	ring, _ := p.Ring(obj)
 	for _, m := range ring.Tree().Members() {
-		if p.Net.Node(m).Down {
+		if p.Net.Node(m).Down() {
 			continue
 		}
 		parent, err := ring.Tree().Parent(m)
 		if err != nil || parent == simnet.None {
 			continue
 		}
-		if p.Net.Node(parent).Down {
+		if p.Net.Node(parent).Down() {
 			t.Fatalf("member %d still parented to dead %d", m, parent)
 		}
 	}

@@ -53,6 +53,10 @@ type PoolConfig struct {
 	// BatchDelivery turns on simnet's same-tick delivery batching
 	// (one event-heap push per distinct delivery time).
 	BatchDelivery bool
+	// Shards partitions the kernel's event heap by region (domain mod
+	// Shards).  Under merge execution the trajectory is identical at
+	// any shard count; 0 or 1 leaves the kernel unsharded.
+	Shards int
 }
 
 // DefaultPoolConfig is a 64-node, 4-domain pool with WAN-ish latency.
@@ -132,13 +136,14 @@ func NewPool(seed int64, cfg PoolConfig) *Pool {
 		LatencyPerUnit: cfg.LatencyPerUnit,
 		DropProb:       cfg.DropProb,
 		BatchDelivery:  cfg.BatchDelivery,
+		Shards:         cfg.Shards,
 	})
 	nodes := net.AddRandomNodes(cfg.Nodes, cfg.Extent, cfg.Domains)
 	var mesh *plaxton.Mesh
 	if !cfg.NoMesh {
 		ids := make([]guid.GUID, len(nodes))
 		for i, n := range nodes {
-			ids[i] = n.Addr
+			ids[i] = n.Addr()
 		}
 		mesh = plaxton.New(ids, func(a, b int) float64 {
 			return net.Distance(simnet.NodeID(a), simnet.NodeID(b))

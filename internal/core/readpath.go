@@ -137,7 +137,7 @@ func (s *Session) readCandidates(obj guid.GUID) ([]simnet.NodeID, error) {
 	var out []simnet.NodeID
 	if s.g&ReadCommitted == 0 {
 		for _, sec := range ring.Secondaries() {
-			if sec.Stale || s.c.pool.Net.Node(sec.Node).Down {
+			if sec.Stale || s.c.pool.Net.Node(sec.Node).Down() {
 				continue
 			}
 			if !s.acceptable(obj, sec.Rep) {
@@ -155,7 +155,7 @@ func (s *Session) readCandidates(obj guid.GUID) ([]simnet.NodeID, error) {
 		}
 	}
 	for _, nid := range ring.PrimaryNodes() {
-		if !s.c.pool.Net.Node(nid).Down {
+		if !s.c.pool.Net.Node(nid).Down() {
 			out = append(out, nid)
 		}
 	}

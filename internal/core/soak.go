@@ -58,6 +58,11 @@ type SoakConfig struct {
 	Domains        int
 	BaseLatency    time.Duration
 	LatencyPerUnit time.Duration
+	// Shards partitions the kernel's event heap by region (domain mod
+	// Shards).  The trajectory is identical at any value (merge
+	// execution); large worlds shard so each region's queue stays
+	// small.  0 or 1 = unsharded.
+	Shards int
 }
 
 // DefaultSoakConfig scales a soak world to the given node count:
@@ -91,6 +96,7 @@ func DefaultSoakConfig(nodes int) SoakConfig {
 		Domains:        8,
 		BaseLatency:    15 * time.Millisecond,
 		LatencyPerUnit: time.Millisecond,
+		Shards:         clamp(nodes/16384, 1, 8),
 	}
 }
 
@@ -142,6 +148,7 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 		LatencyPerUnit: cfg.LatencyPerUnit,
 		NoMesh:         true,
 		BatchDelivery:  true,
+		Shards:         cfg.Shards,
 	}
 	p := NewPool(seed, pc)
 	w := &SoakWorld{
@@ -171,7 +178,7 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 	}
 	// Nodes that join mid-run (GrowAt) become secondaries of existing
 	// objects round-robin — promiscuous caching on arrival, O(added).
-	p.Net.OnTopology(func(added []*simnet.Node) {
+	p.Net.OnTopology(func(added []simnet.Node) {
 		for _, nd := range added {
 			if len(w.objects) == 0 {
 				return
@@ -241,7 +248,7 @@ func (w *SoakWorld) nextSecondaryNode() simnet.NodeID {
 	for tries := 0; tries < n; tries++ {
 		id := simnet.NodeID(w.nextSecondary % n)
 		w.nextSecondary++
-		if !w.Pool.Net.Node(id).Down {
+		if !w.Pool.Net.Node(id).Down() {
 			return id
 		}
 	}

@@ -156,7 +156,7 @@ func (t *Tree) Join(id simnet.NodeID) error {
 	best := simnet.None
 	for _, mid := range t.Members() {
 		mb := t.m[mid]
-		if t.net.Node(mid).Down || len(mb.children) >= t.fanout {
+		if t.net.Node(mid).Down() || len(mb.children) >= t.fanout {
 			continue
 		}
 		if best == simnet.None || t.net.Latency(id, mid) < t.net.Latency(id, best) {
@@ -246,7 +246,7 @@ func (t *Tree) forward(from simnet.NodeID, payload any, size int) {
 	mb := t.m[from]
 	for _, c := range mb.children {
 		d := Delivery{Tree: t.id, Payload: payload, Size: size, Depth: t.m[c].depth}
-		if t.net.Node(c).LowBandwidth {
+		if t.net.Node(c).LowBandwidth() {
 			t.net.Send(from, c, KindInvalidate,
 				Delivery{Tree: t.id, Invalidated: true, Depth: t.m[c].depth}, InvalidationSize)
 		} else {
@@ -315,7 +315,7 @@ func (t *Tree) Repair() int {
 			continue
 		}
 		mb := t.m[id]
-		if _, ok := t.m[mb.parent]; !ok || t.net.Node(mb.parent).Down {
+		if _, ok := t.m[mb.parent]; !ok || t.net.Node(mb.parent).Down() {
 			t.reattach(id)
 			moved++
 		}
@@ -341,7 +341,7 @@ func (t *Tree) reattach(id simnet.NodeID) {
 	best := simnet.None
 	for _, mid := range t.Members() {
 		pm := t.m[mid]
-		if inSubtree[mid] || t.net.Node(mid).Down || len(pm.children) >= t.fanout {
+		if inSubtree[mid] || t.net.Node(mid).Down() || len(pm.children) >= t.fanout {
 			continue
 		}
 		if best == simnet.None || t.net.Latency(id, mid) < t.net.Latency(id, best) {
@@ -351,7 +351,7 @@ func (t *Tree) reattach(id simnet.NodeID) {
 	if best == simnet.None {
 		// Relax the fanout cap rather than orphan the node.
 		for _, mid := range t.Members() {
-			if inSubtree[mid] || t.net.Node(mid).Down {
+			if inSubtree[mid] || t.net.Node(mid).Down() {
 				continue
 			}
 			if best == simnet.None || t.net.Latency(id, mid) < t.net.Latency(id, best) {

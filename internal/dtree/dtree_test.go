@@ -92,7 +92,7 @@ func TestLowBandwidthLeafGetsInvalidation(t *testing.T) {
 	if leaf < 0 {
 		t.Fatal("no leaf found")
 	}
-	net.Node(leaf).LowBandwidth = true
+	net.Node(leaf).SetLowBandwidth(true)
 
 	deliveries := map[simnet.NodeID]Delivery{}
 	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { deliveries[n] = d })
@@ -128,7 +128,7 @@ func TestLowBandwidthLeafGetsInvalidation(t *testing.T) {
 func TestPullFetchesFromParent(t *testing.T) {
 	k, net, tr := build(t, 10, 3, 4)
 	leafID := simnet.NodeID(9)
-	net.Node(leafID).LowBandwidth = true
+	net.Node(leafID).SetLowBandwidth(true)
 
 	tr.OnPull(func(parent simnet.NodeID) (any, int) { return "fresh-state", 2048 })
 	var got *Delivery
@@ -191,7 +191,7 @@ func TestRepairAfterParentCrash(t *testing.T) {
 	// Crash a third of the inner nodes.
 	crashed := map[simnet.NodeID]bool{}
 	for i := 1; i < 30; i += 3 {
-		net.Node(simnet.NodeID(i)).Down = true
+		net.Node(simnet.NodeID(i)).SetDown(true)
 		crashed[simnet.NodeID(i)] = true
 	}
 	moved := tr.Repair()
@@ -228,7 +228,7 @@ func TestRepairAfterParentCrash(t *testing.T) {
 func TestDepthsStayConsistentAfterReattach(t *testing.T) {
 	_, net, tr := build(t, 30, 2, 7)
 	for i := 1; i < 30; i += 4 {
-		net.Node(simnet.NodeID(i)).Down = true
+		net.Node(simnet.NodeID(i)).SetDown(true)
 	}
 	tr.Repair()
 	// depth(child) == depth(parent) + 1 everywhere.
@@ -270,7 +270,7 @@ func TestLatencyGreedyParentSelection(t *testing.T) {
 
 func TestRehomeAfterRootDeath(t *testing.T) {
 	k, net, tr := build(t, 12, 3, 9)
-	net.Node(0).Down = true // kill the root
+	net.Node(0).SetDown(true) // kill the root
 	newRoot := simnet.NodeID(11)
 	// 11 is already a member (build joined 1..11); rehome to it.
 	tr.Rehome(newRoot)

@@ -108,7 +108,7 @@ func TestInvariantsUnderTimedChurn(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if net.Node(p).Down {
+				if net.Node(p).Down() {
 					t.Fatalf("node %d still parented to down node %d after churn ended", id, p)
 				}
 			}

@@ -65,12 +65,21 @@ func (r *Replica) AdoptFrom(src *Replica) {
 // must not teleport into its peers.  Tentative replay caches are
 // invalidated so reads observe the corruption.
 func (r *Replica) TamperBase(mut func(v *object.Version)) {
-	v := *r.base
-	v.Blocks = make([]object.Block, len(r.base.Blocks))
+	// Build a fresh Version (not a struct copy): a copy would carry the
+	// source's cached GUID, and a stale clean root would mask the very
+	// corruption the integrity machinery must detect.
+	v := object.Version{
+		Num:       r.base.Num,
+		Blocks:    make([]object.Block, len(r.base.Blocks)),
+		Top:       append([]uint32(nil), r.base.Top...),
+		Size:      r.base.Size,
+		Prev:      r.base.Prev,
+		Timestamp: r.base.Timestamp,
+		Index:     r.base.Index,
+	}
 	for i, b := range r.base.Blocks {
 		v.Blocks[i] = object.Block{Tag: b.Tag, CT: append([]byte(nil), b.CT...)}
 	}
-	v.Top = append([]uint32(nil), r.base.Top...)
 	mut(&v)
 	r.base = &v
 	r.cacheValid = false

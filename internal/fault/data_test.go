@@ -127,13 +127,13 @@ func TestCrashGroupIsCorrelated(t *testing.T) {
 
 	k.RunUntil(15 * time.Second)
 	for _, nd := range group {
-		if !net.Node(nd).Down {
+		if !net.Node(nd).Down() {
 			t.Fatalf("node %d survived the group crash", nd)
 		}
 	}
 	k.RunUntil(time.Minute)
 	for _, nd := range group {
-		if net.Node(nd).Down {
+		if net.Node(nd).Down() {
 			t.Fatalf("node %d did not recover with the group", nd)
 		}
 	}

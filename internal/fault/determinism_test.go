@@ -38,9 +38,13 @@ func traceHash(events []simnet.TraceEvent) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// goldenChaosTrace is traceHash of the seed-11 DemoChaosPlan run,
-// recorded with the pre-rewrite binary heap kernel.
-const goldenChaosTrace = "5baa2fd12d46578b3b86c056c933fbc33e8ce2377328a52e3645ba1aa3ef7db1"
+// goldenChaosTrace is traceHash of the seed-11 DemoChaosPlan run.
+// Re-recorded when archival dispersal moved from per-archive domain
+// partitioning to the service's incremental member rings (same
+// round-robin policy, different — still deterministic — placements,
+// hence different traffic).  Verified identical across repeated runs
+// at GOMAXPROCS 1 and 2 before pinning.
+const goldenChaosTrace = "18573edf25ce0661f73924795d964fd8491b156201e6b3c8f45904aaadc0153f"
 
 func TestGoldenTraceHash(t *testing.T) {
 	var trace []simnet.TraceEvent

@@ -167,7 +167,7 @@ func chaosRun(seed int64, plan fault.Plan, trace func(simnet.TraceEvent)) (chaos
 		p.K.At(time.Duration(10+20*i)*time.Second, func() {
 			g := guid.Random(p.K.Rand())
 			start := (5 + 3*i) % harnessNodes
-			if p.Net.Node(simnet.NodeID(start)).Down {
+			if p.Net.Node(simnet.NodeID(start)).Down() {
 				start = 20 // the client node never churns in the standard plans
 			}
 			routesIssued++
@@ -187,7 +187,7 @@ func chaosRun(seed int64, plan fault.Plan, trace func(simnet.TraceEvent)) (chaos
 	eng.Uninstall()
 	p.Net.ClearPartitions()
 	for _, n := range p.Net.Nodes() {
-		if n.Down {
+		if n.Down() {
 			p.Net.Recover(n.ID)
 		}
 	}

@@ -130,12 +130,24 @@ type Version struct {
 	// the search predicate (§4.4.2).  Cells are opaque without a
 	// trapdoor; see crypt.WordIndex.
 	Index *crypt.WordIndex
+
+	// guidMemo caches the Merkle root (GUID): versions are immutable
+	// snapshots, so each one's root is computed at most once.  The
+	// in-package mutators — which only ever run on a freshly cloned
+	// successor during update application — drop the memo.  Code that
+	// corrupts a version in place (tamper harnesses) must construct a
+	// fresh Version or the stale root would mask the damage.
+	guidMemo guid.GUID
+	guidSet  bool
 }
 
 // GUID returns the version's self-verifying identity: the Merkle root
 // over its ciphertext blocks mixed with its metadata.  Any change to
 // any block or to the structure changes the GUID.
 func (v *Version) GUID() guid.GUID {
+	if v.guidSet {
+		return v.guidMemo
+	}
 	leaves := make([][]byte, 0, len(v.Blocks)+1)
 	meta := make([]byte, 8+8+4*len(v.Top)+guid.Size)
 	binary.BigEndian.PutUint64(meta, v.Num)
@@ -154,7 +166,8 @@ func (v *Version) GUID() guid.GUID {
 	if v.Index != nil {
 		leaves = append(leaves, v.Index.Cells...)
 	}
-	return merkle.Build(leaves).Root()
+	v.guidMemo, v.guidSet = merkle.Build(leaves).Root(), true
+	return v.guidMemo
 }
 
 // Clone makes a copy-on-write successor: block contents are shared,
@@ -189,6 +202,7 @@ func (v *Version) ApplyReplace(pos uint32, b Block) error {
 		return fmt.Errorf("object: replace position %d out of range (%d blocks)", pos, len(v.Blocks))
 	}
 	v.Blocks[pos] = b
+	v.guidSet = false
 	return nil
 }
 
@@ -204,6 +218,7 @@ func (v *Version) ApplyAppend(blocks []Block, toTop bool) []uint32 {
 			v.Top = append(v.Top, idxs[i])
 		}
 	}
+	v.guidSet = false
 	return idxs
 }
 

@@ -378,11 +378,11 @@ func (r *Ring) executeCommitted(seq uint64, req byz.Request) {
 // when its rooting primary has died — pushes must originate somewhere
 // alive.  Safe to call periodically (maintenance) and before pushes.
 func (r *Ring) EnsureLiveRoot() {
-	if !r.net.Node(r.tree.Root()).Down {
+	if !r.net.Node(r.tree.Root()).Down() {
 		return
 	}
 	for _, nid := range r.primaryNodes {
-		if !r.net.Node(nid).Down {
+		if !r.net.Node(nid).Down() {
 			r.tree.Rehome(nid)
 			return
 		}

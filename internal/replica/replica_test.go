@@ -190,7 +190,7 @@ func TestLowBandwidthInvalidationAndRefresh(t *testing.T) {
 	if _, err := w.ring.AddSecondary(simnet.NodeID(4)); err != nil {
 		t.Fatal(err)
 	}
-	w.net.Node(5).LowBandwidth = true
+	w.net.Node(5).SetLowBandwidth(true)
 	sec, err := w.ring.AddSecondary(simnet.NodeID(5))
 	if err != nil {
 		t.Fatal(err)

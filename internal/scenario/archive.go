@@ -241,7 +241,7 @@ func runAZLoss(o Options) Result {
 	w := newArchWorld(o, 24, 4, 5)
 	var az []simnet.NodeID
 	for _, id := range w.svc.StoreNodes() {
-		if w.net.Node(id).Domain == 0 {
+		if w.net.Node(id).Domain() == 0 {
 			az = append(az, id)
 		}
 	}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// traceRun drives a fixed mixed workload — cross-shard posts, ties,
+// nested scheduling, RNG draws — and returns the execution trace.
+// Closures are shard-confined (ShardNow/ShardRand only), so the same
+// workload is legal in every execution mode.
+func traceRun(t *testing.T, shards int, epoch time.Duration, exec ExecMode, parallel bool) []string {
+	t.Helper()
+	k := NewKernel(7)
+	if epoch > 0 {
+		k.ShardEpoch(shards, epoch)
+		k.SetExec(exec)
+	} else if shards > 1 {
+		k.Shard(shards)
+	}
+	k.SetParallel(parallel)
+
+	traces := make([][]string, shards) // per-shard: no cross-shard writes under parallel windows
+	var seed func(s, depth int, at time.Duration)
+	seed = func(s, depth int, at time.Duration) {
+		k.Post(s, s, at, func() {
+			traces[s] = append(traces[s],
+				fmt.Sprintf("s%d d%d t%v r%d", s, depth, k.ShardNow(s), k.ShardRand(s).Intn(1000)))
+			if depth < 3 {
+				// Same-shard child inside the window, cross-shard child one
+				// full epoch out (respects any lookahead >= epoch tested here).
+				seed(s, depth+1, k.ShardNow(s)+time.Millisecond)
+				dst := (s + 1) % shards
+				k.Post(s, dst, k.ShardNow(s)+25*time.Millisecond, func() {
+					traces[dst] = append(traces[dst],
+						fmt.Sprintf("s%d from s%d t%v", dst, s, k.ShardNow(dst)))
+				})
+			}
+		})
+	}
+	for s := 0; s < shards; s++ {
+		seed(s, 0, 10*time.Millisecond)
+		seed(s, 0, 10*time.Millisecond) // same-timestamp tie on every shard
+	}
+	k.Run()
+
+	var all []string
+	for _, tr := range traces {
+		all = append(all, tr...)
+	}
+	return all
+}
+
+// mergeTrace drives a workload of nested, tied, randomised events on
+// a merge-key kernel with n shards and returns the single global
+// execution order.  Merge execution is single-threaded, so one shared
+// trace slice records the true pop order.
+func mergeTrace(n int) []string {
+	k := NewKernel(7)
+	if n > 1 {
+		k.Shard(n)
+	}
+	var trace []string
+	var seed func(depth int, at time.Duration)
+	seed = func(depth int, at time.Duration) {
+		k.At(at, func() {
+			trace = append(trace, fmt.Sprintf("d%d t%v r%d", depth, k.Now(), k.Rand().Intn(1000)))
+			if depth < 3 {
+				seed(depth+1, k.Now()+time.Millisecond)
+			}
+		})
+	}
+	for i := 0; i < 6; i++ {
+		seed(0, time.Duration(i+1)*7*time.Millisecond)
+		seed(0, time.Duration(i+1)*7*time.Millisecond) // ties at every seed time
+	}
+	k.Run()
+	return trace
+}
+
+// TestShardedMatchesSingleHeap: merge-key sharding is pure
+// partitioning — any shard count pops the identical global order.
+func TestShardedMatchesSingleHeap(t *testing.T) {
+	want := mergeTrace(1)
+	for _, n := range []int{2, 3, 8} {
+		got := mergeTrace(n)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d events vs %d single-heap", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d diverges at event %d: %q vs %q", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEpochMatchesMergeReference: barrier execution of an
+// epoch-sharded world takes the same trajectory as the merge-order
+// reference over the identical per-shard-keyed event set.
+func TestEpochMatchesMergeReference(t *testing.T) {
+	const shards, epoch = 4, 20 * time.Millisecond
+	ref := traceRun(t, shards, epoch, ExecMerge, false)
+	got := traceRun(t, shards, epoch, ExecEpoch, false)
+	if len(ref) != len(got) {
+		t.Fatalf("event counts differ: merge %d, epoch %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("trajectories diverge at %d: merge %q, epoch %q", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestEpochParallelMatchesSerial: fork-join windows take the same
+// trajectory as the serial fallback.  On a single-proc box par.Procs()
+// forces the serial path, which still exercises the parallel flag; on
+// multi-proc boxes (and under -race in CI) this covers the actual
+// fork-join.
+func TestEpochParallelMatchesSerial(t *testing.T) {
+	const shards, epoch = 4, 20 * time.Millisecond
+	serial := traceRun(t, shards, epoch, ExecEpoch, false)
+	parallel := traceRun(t, shards, epoch, ExecEpoch, true)
+	if len(serial) != len(parallel) {
+		t.Fatalf("event counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("serial/parallel diverge at %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestCrossShardTieBreak: same-timestamp events execute in (srcShard,
+// perShardSeq) order in epoch mode — shard 0's posts before shard 1's,
+// and within a shard in issue order — regardless of the order the
+// shards' queues are drained between barriers.
+func TestCrossShardTieBreak(t *testing.T) {
+	k := NewKernel(1)
+	k.ShardEpoch(3, 10*time.Millisecond)
+	var order []string
+	// Issue interleaved: shard 2 first, then 0, then 1, two posts each,
+	// all at the same timestamp on shard 0.  Cross-shard posts land at
+	// t=10ms (one epoch out) so the lookahead holds; execution order
+	// must follow the packed (src<<48 | seq) key, i.e. src-major.
+	at := 10 * time.Millisecond
+	for _, src := range []int{2, 0, 1} {
+		for i := 0; i < 2; i++ {
+			src, i := src, i
+			k.Post(src, 0, at, func() { order = append(order, fmt.Sprintf("src%d#%d", src, i)) })
+		}
+	}
+	k.SetExec(ExecMerge) // one global (time, shard, seq) order makes the assertion exact
+	k.Run()
+	want := []string{"src0#0", "src0#1", "src1#0", "src1#1", "src2#0", "src2#1"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie-break order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEveryCancelSharded: a ticker cancelled from a different event
+// stops without firing again, and a ticker cancelled before its first
+// tick never fires — on a sharded kernel where the ticker's After
+// chain stays on its own shard.
+func TestEveryCancelSharded(t *testing.T) {
+	k := NewKernel(1)
+	k.Shard(4)
+	count := 0
+	cancel := k.Every(10*time.Millisecond, func() { count++ })
+	k.At(35*time.Millisecond, func() { cancel() })
+	never := 0
+	cancelNow := k.Every(50*time.Millisecond, func() { never++ })
+	cancelNow() // cancelled before the first tick
+	k.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3 (10,20,30ms then cancelled at 35ms)", count)
+	}
+	if never != 0 {
+		t.Fatalf("pre-cancelled ticker fired %d times", never)
+	}
+	// The dead tickers' tombstone events drain without effect.
+	if k.Pending() != 0 {
+		k.Run()
+	}
+	if count != 3 || never != 0 {
+		t.Fatalf("cancelled tickers revived: count=%d never=%d", count, never)
+	}
+}
+
+// TestRunUntilPastEmptyQueue: advancing the clock beyond the last
+// event leaves every shard's local clock at the target, in both merge
+// and epoch modes, so later After calls measure from the right base.
+func TestRunUntilPastEmptyQueue(t *testing.T) {
+	for _, mode := range []string{"merge", "epoch"} {
+		k := NewKernel(1)
+		if mode == "epoch" {
+			k.ShardEpoch(3, 10*time.Millisecond)
+		} else {
+			k.Shard(3)
+		}
+		fired := false
+		k.Post(1, 1, 5*time.Millisecond, func() { fired = true })
+		k.RunUntil(time.Second) // far past the only event
+		if !fired {
+			t.Fatalf("%s: event did not fire", mode)
+		}
+		if k.Now() != time.Second {
+			t.Fatalf("%s: clock = %v, want 1s", mode, k.Now())
+		}
+		for s := 0; s < k.ShardCount(); s++ {
+			if k.ShardNow(s) != time.Second {
+				t.Fatalf("%s: shard %d clock = %v, want 1s", mode, s, k.ShardNow(s))
+			}
+		}
+		// RunUntil on a now-empty queue still advances.
+		k.RunUntil(2 * time.Second)
+		if k.Now() != 2*time.Second {
+			t.Fatalf("%s: empty-queue RunUntil left clock at %v", mode, k.Now())
+		}
+	}
+}
+
+// TestEpochLookaheadViolationPanics: a cross-shard event due inside
+// the window that produced it breaks the barrier contract and must be
+// caught, not silently reordered.
+func TestEpochLookaheadViolationPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.ShardEpoch(2, 50*time.Millisecond)
+	k.Post(0, 0, 10*time.Millisecond, func() {
+		// Due at 12ms, inside the [0,50ms) window being executed.
+		k.Post(0, 1, k.ShardNow(0)+2*time.Millisecond, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	k.Run()
+}
+
+// TestShardAfterSchedulingPanics: reconfiguring shards with events in
+// flight would strand them; the kernel must refuse.
+func TestShardAfterSchedulingPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(time.Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late Shard() did not panic")
+		}
+	}()
+	k.Shard(4)
+}

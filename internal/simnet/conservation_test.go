@@ -99,7 +99,7 @@ func TestPerLinkByteConservation(t *testing.T) {
 				from := NodeID(rng.Intn(16))
 				to := NodeID(rng.Intn(16))
 				size := 32 + rng.Intn(256)
-				if !net.Node(from).Down {
+				if !net.Node(from).Down() {
 					manual += int64(size)
 				}
 				net.Send(from, to, "bulk", s, size)
@@ -192,7 +192,7 @@ func TestGrowAtDeterminism(t *testing.T) {
 		net := New(k, Config{BaseLatency: time.Millisecond})
 		net.AddRandomNodes(8, 50, 2)
 		var batches []int
-		net.OnTopology(func(added []*Node) { batches = append(batches, len(added)) })
+		net.OnTopology(func(added []Node) { batches = append(batches, len(added)) })
 		net.GrowAt(10*time.Millisecond, 5, 50, 2)
 		net.GrowAt(30*time.Millisecond, 3, 50, 2)
 		k.RunFor(time.Second)
@@ -205,7 +205,7 @@ func TestGrowAtDeterminism(t *testing.T) {
 	}
 	for i := 0; i < a.Len(); i++ {
 		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
-		if na.Addr != nb.Addr || na.X != nb.X || na.Y != nb.Y || na.Domain != nb.Domain {
+		if na.Addr() != nb.Addr() || na.X() != nb.X() || na.Y() != nb.Y() || na.Domain() != nb.Domain() {
 			t.Fatalf("node %d diverged across identical runs", i)
 		}
 	}

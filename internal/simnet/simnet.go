@@ -16,6 +16,25 @@
 // scheduled variants — so that a down node sheds its partition state,
 // drops due to crashes are accounted separately from other losses, and
 // every liveness transition is observable by the protocol layers.
+//
+// # Node layout
+//
+// Per-node state lives in struct-of-arrays form on the Network — one
+// dense slice per hot field (liveness flags, domain, position) —
+// rather than in per-node heap objects, so a million-node world costs
+// tens of megabytes and the send path's crash/partition checks read
+// adjacent cache lines.  Node is a 16-byte value handle over that
+// storage.
+//
+// # Sharding
+//
+// With Config.Shards > 1 the network partitions the kernel's event
+// heap by region (administrative domain modulo shard count): message
+// deliveries are posted to the destination node's shard queue via
+// sim.Kernel.Post.  Under the kernel's merge execution this is pure
+// partitioning — event keys keep the single global (time, seq) order,
+// so a sharded run is byte-identical to an unsharded one at any shard
+// count and any GOMAXPROCS.
 package simnet
 
 import (
@@ -50,30 +69,57 @@ type Message struct {
 // Handler consumes messages delivered to a node.
 type Handler func(Message)
 
-// Node is a simulated server or client machine.
-type Node struct {
-	ID   NodeID
-	Addr guid.GUID // server GUID (hash of its public key)
-	X, Y float64   // position on the latency plane
-	// Domain is the administrative domain the node belongs to; the
-	// archival layer avoids placing correlated fragments in one domain.
-	Domain int
-	// LowBandwidth marks leaf nodes where dissemination trees transform
-	// updates into invalidations (paper §4.4.3).
-	LowBandwidth bool
-	// Down marks a crashed node: it neither sends nor receives.  Prefer
-	// Network.Crash/Recover over writing the field directly — the
-	// methods also shed partition state and fire liveness callbacks.
-	Down bool
+// GlobalHandler consumes messages delivered to any node.  Services
+// that attend every server (the archival store) register one of these
+// instead of closing a per-node handler over each of a million IDs.
+type GlobalHandler func(to NodeID, m Message)
 
-	handlers []Handler
+// Node is a 16-byte value handle onto one simulated machine's state,
+// which lives in the Network's struct-of-arrays storage.
+type Node struct {
+	ID  NodeID
+	net *Network
 }
+
+// Addr returns the node's server GUID (hash-sized random identity).
+func (n Node) Addr() guid.GUID { return n.net.addrs[n.ID] }
+
+// X returns the node's position on the latency plane.
+func (n Node) X() float64 { return n.net.xs[n.ID] }
+
+// Y returns the node's position on the latency plane.
+func (n Node) Y() float64 { return n.net.ys[n.ID] }
+
+// Domain is the administrative domain the node belongs to; the
+// archival layer avoids placing correlated fragments in one domain.
+func (n Node) Domain() int { return int(n.net.domains[n.ID]) }
+
+// Down reports whether the node is crashed: it neither sends nor
+// receives.
+func (n Node) Down() bool { return n.net.down[n.ID] }
+
+// LowBandwidth reports a leaf node where dissemination trees transform
+// updates into invalidations (paper §4.4.3).
+func (n Node) LowBandwidth() bool { return n.net.lowbw[n.ID] }
+
+// SetDown flips the liveness flag silently — no partition shedding, no
+// liveness callbacks.  Tests use it to model a machine vanishing
+// mid-protocol; prefer Network.Crash/Recover for observable churn.
+func (n Node) SetDown(v bool) { n.net.down[n.ID] = v }
+
+// SetLowBandwidth marks or unmarks the node as a low-bandwidth leaf.
+func (n Node) SetLowBandwidth(v bool) { n.net.lowbw[n.ID] = v }
+
+// SetDomain reassigns the node's administrative domain.
+func (n Node) SetDomain(d int) { n.net.domains[n.ID] = int32(d) }
 
 // Handle adds a message handler to the node.  Several protocol layers
 // (agreement, dissemination, archival) coexist on one server, so every
 // handler sees every delivered message and filters by Kind or payload
 // type.
-func (n *Node) Handle(h Handler) { n.handlers = append(n.handlers, h) }
+func (n Node) Handle(h Handler) {
+	n.net.handlers[n.ID] = append(n.net.handlers[n.ID], h)
+}
 
 // Config sets the link model of a Network.
 type Config struct {
@@ -97,6 +143,11 @@ type Config struct {
 	// TestBatchDeliveryEquivalence).  Large worlds (10k nodes) run
 	// with this on.
 	BatchDelivery bool
+	// Shards partitions the kernel's event heap by region (domain mod
+	// Shards): unbatched deliveries post to the destination's shard
+	// queue.  0 or 1 leaves the kernel unsharded.  Requires the
+	// Network to own kernel shard configuration — set it at New time.
+	Shards int
 }
 
 // Stats aggregates traffic counters.  ByKind maps the message Kind tag
@@ -155,16 +206,39 @@ type TraceEvent struct {
 // Network is the simulated fabric.  All sends and deliveries run on the
 // underlying sim.Kernel's virtual clock.
 type Network struct {
-	K     *sim.Kernel
-	cfg   Config
-	nodes []*Node
+	K   *sim.Kernel
+	cfg Config
+
+	// Struct-of-arrays node state, indexed by NodeID.
+	addrs    []guid.GUID
+	xs, ys   []float64
+	domains  []int32
+	down     []bool
+	lowbw    []bool
+	handlers [][]Handler
+
+	// global handlers fire for every delivered message, before the
+	// per-node handlers.
+	global []GlobalHandler
+
+	// byAddr interns GUID → NodeID lookups; built lazily on the first
+	// NodeByAddr call and maintained incrementally afterwards, so
+	// worlds that never resolve addresses pay nothing.
+	byAddr map[guid.GUID]NodeID
+
 	stats Stats
+	// snapByKind/snapRetries are the reusable map payloads handed out
+	// by Stats() — the snapshot path allocates nothing in steady state.
+	snapByKind  map[string]int64
+	snapRetries map[string]int
+
 	// partition[i] groups nodes; messages between different groups drop.
-	partition map[NodeID]int
+	// Group 0 is the default (no partition).
+	partition []int32
 	plan      FaultPlan
 	trace     func(TraceEvent)
 	liveness  []func(id NodeID, up bool)
-	topology  []func(added []*Node)
+	topology  []func(added []Node)
 
 	// Batched delivery state (Config.BatchDelivery): messages due at
 	// the same tick share one queued batch and one kernel event.
@@ -179,6 +253,8 @@ type Network struct {
 	om        *netMetrics
 	otr       *obs.Tracer
 	nextMsgID uint64
+
+	shards int // kernel shard count (≥ 1)
 }
 
 // netMetrics caches the network's obs handles so the per-message path
@@ -189,12 +265,13 @@ type netMetrics struct {
 	sent, delivered, bytes                                       *obs.Counter
 	dropCrash, dropPartition, dropFault, dropLoss, dropNoHandler *obs.Counter
 	crashes, recoveries, retries                                 *obs.Counter
-	// links shards the per-link counter table by source node: one
-	// small map per sender instead of one network-wide map keyed by
-	// [2]NodeID.  A 10k-node world's hot senders then hash a single
-	// int into a map sized to their own fan-out, and growth (GrowAt)
-	// only extends the spine slice.
-	links       []map[NodeID]*linkMetrics
+	// links shards the per-link counter table by the source node's
+	// region: one pre-sized map per shard, keyed by the packed
+	// (from, to) pair, instead of one lazy map per sender.  A sharded
+	// 100k-node world then keeps a handful of tables sized to their
+	// region's live link set, and growth never reallocates a spine of
+	// 100k map headers.
+	links       []map[uint64]*linkMetrics
 	kindRetries map[string]*obs.Counter
 }
 
@@ -202,27 +279,31 @@ type linkMetrics struct {
 	bytes, drops *obs.Counter
 }
 
+func linkKey(from, to NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
 // link resolves (lazily creating) the per-link counters for from→to.
 // Names encode the destination, so Key.Node carries the source: the
 // pair answers "bytes/drops per link" (§5's per-flow observation).
-func (m *netMetrics) link(from, to NodeID) *linkMetrics {
-	if int(from) >= len(m.links) {
-		grown := make([]map[NodeID]*linkMetrics, int(from)+1)
-		copy(grown, m.links)
-		m.links = grown
+func (n *Network) link(from, to NodeID) *linkMetrics {
+	m := n.om
+	shard := n.shardOf(from)
+	tbl := m.links[shard]
+	if tbl == nil {
+		// Pre-size to the expected working set: a few live links per
+		// node in this shard.
+		tbl = make(map[uint64]*linkMetrics, 4*(len(n.addrs)/len(m.links)+1))
+		m.links[shard] = tbl
 	}
-	shard := m.links[from]
-	if shard == nil {
-		shard = make(map[NodeID]*linkMetrics)
-		m.links[from] = shard
-	}
-	lm, ok := shard[to]
+	key := linkKey(from, to)
+	lm, ok := tbl[key]
 	if !ok {
 		lm = &linkMetrics{
 			bytes: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_bytes", to)),
 			drops: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_drops", to)),
 		}
-		shard[to] = lm
+		tbl[key] = lm
 	}
 	return lm
 }
@@ -250,19 +331,28 @@ func (n *Network) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		crashes:       reg.Counter(obs.NodeWide, "simnet", "crashes"),
 		recoveries:    reg.Counter(obs.NodeWide, "simnet", "recoveries"),
 		retries:       reg.Counter(obs.NodeWide, "simnet", "retries"),
-		links:         make([]map[NodeID]*linkMetrics, len(n.nodes)),
+		links:         make([]map[uint64]*linkMetrics, n.shards),
 		kindRetries:   make(map[string]*obs.Counter),
 	}
 }
 
-// New creates an empty network over kernel k.
+// New creates an empty network over kernel k.  With cfg.Shards > 1 the
+// kernel's event heap is partitioned by region at this point, so New
+// must run before any event is scheduled on k.
 func New(k *sim.Kernel, cfg Config) *Network {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 {
+		k.Shard(shards)
+	}
 	return &Network{
-		K:         k,
-		cfg:       cfg,
-		stats:     newStats(),
-		partition: make(map[NodeID]int),
-		batches:   make(map[time.Duration]*msgBatch),
+		K:       k,
+		cfg:     cfg,
+		stats:   newStats(),
+		batches: make(map[time.Duration]*msgBatch),
+		shards:  shards,
 	}
 }
 
@@ -270,28 +360,51 @@ func newStats() Stats {
 	return Stats{ByKind: make(map[string]int64), RetriesByKind: make(map[string]int)}
 }
 
+// Shards reports the configured shard count (≥ 1).
+func (n *Network) Shards() int { return n.shards }
+
+// shardOf maps a node to its kernel shard: region = domain mod shards,
+// so co-domain (latency-close) nodes share a queue.
+func (n *Network) shardOf(id NodeID) int {
+	if n.shards == 1 {
+		return 0
+	}
+	return int(uint32(n.domains[id])) % n.shards
+}
+
+// ShardOf exposes the node → shard mapping (epoch-mode worlds place
+// their per-region timers with it).
+func (n *Network) ShardOf(id NodeID) int { return n.shardOf(id) }
+
 // AddNode places a node at (x, y) and returns it.  The node's GUID is
 // drawn from the kernel's seeded randomness, mimicking the random
 // node-ID assignment of the Plaxton scheme.
-func (n *Network) AddNode(x, y float64) *Node {
-	nd := &Node{
-		ID:   NodeID(len(n.nodes)),
-		Addr: guid.Random(n.K.Rand()),
-		X:    x, Y: y,
+func (n *Network) AddNode(x, y float64) Node {
+	id := NodeID(len(n.addrs))
+	addr := guid.Random(n.K.Rand())
+	n.addrs = append(n.addrs, addr)
+	n.xs = append(n.xs, x)
+	n.ys = append(n.ys, y)
+	n.domains = append(n.domains, 0)
+	n.down = append(n.down, false)
+	n.lowbw = append(n.lowbw, false)
+	n.handlers = append(n.handlers, nil)
+	n.partition = append(n.partition, 0)
+	if n.byAddr != nil {
+		n.byAddr[addr] = id
 	}
-	n.nodes = append(n.nodes, nd)
-	return nd
+	return Node{ID: id, net: n}
 }
 
 // AddRandomNodes places count nodes uniformly on the unit square scaled
 // by extent, assigning each to one of domains administrative domains.
 // Topology callbacks (OnTopology) fire once for the whole batch.
-func (n *Network) AddRandomNodes(count int, extent float64, domains int) []*Node {
-	out := make([]*Node, count)
+func (n *Network) AddRandomNodes(count int, extent float64, domains int) []Node {
+	out := make([]Node, count)
 	for i := range out {
 		nd := n.AddNode(n.K.Rand().Float64()*extent, n.K.Rand().Float64()*extent)
 		if domains > 0 {
-			nd.Domain = n.K.Rand().Intn(domains)
+			n.domains[nd.ID] = int32(n.K.Rand().Intn(domains))
 		}
 		out[i] = nd
 	}
@@ -306,7 +419,7 @@ func (n *Network) AddRandomNodes(count int, extent float64, domains int) []*Node
 // (meshes, replica sets, workload targets) extend themselves
 // incrementally from the batch instead of rescanning the world — the
 // piece that keeps growing a world O(added), not O(n²).
-func (n *Network) OnTopology(fn func(added []*Node)) {
+func (n *Network) OnTopology(fn func(added []Node)) {
 	n.topology = append(n.topology, fn)
 }
 
@@ -325,14 +438,34 @@ func (n *Network) Bounce(id NodeID, at, downFor time.Duration) {
 	n.RecoverAt(at+downFor, id)
 }
 
-// Node returns the node with the given ID.
-func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+// Node returns a handle on the node with the given ID.
+func (n *Network) Node(id NodeID) Node { return Node{ID: id, net: n} }
+
+// NodeByAddr resolves a server GUID to its node, interning the
+// GUID → NodeID table on first use so address resolution is one map
+// probe instead of a linear scan.
+func (n *Network) NodeByAddr(addr guid.GUID) (NodeID, bool) {
+	if n.byAddr == nil {
+		n.byAddr = make(map[guid.GUID]NodeID, len(n.addrs))
+		for i, a := range n.addrs {
+			n.byAddr[a] = NodeID(i)
+		}
+	}
+	id, ok := n.byAddr[addr]
+	return id, ok
+}
 
 // Len returns the number of nodes.
-func (n *Network) Len() int { return len(n.nodes) }
+func (n *Network) Len() int { return len(n.addrs) }
 
-// Nodes returns the underlying node slice (do not mutate its length).
-func (n *Network) Nodes() []*Node { return n.nodes }
+// Nodes returns handles on every node.
+func (n *Network) Nodes() []Node {
+	out := make([]Node, len(n.addrs))
+	for i := range out {
+		out[i] = Node{ID: NodeID(i), net: n}
+	}
+	return out
+}
 
 // SetFaultPlan installs (or, with nil, removes) the fault-schedule
 // hook.  At most one plan is active at a time.
@@ -351,6 +484,14 @@ func (n *Network) OnLiveness(fn func(id NodeID, up bool)) {
 	n.liveness = append(n.liveness, fn)
 }
 
+// HandleAll registers a handler that sees every delivered message,
+// whatever its destination, before the destination's own handlers.
+// Network-wide services use it to attend a million nodes without a
+// million closures.
+func (n *Network) HandleAll(h GlobalHandler) {
+	n.global = append(n.global, h)
+}
+
 func (n *Network) emit(ev string, m Message) {
 	if n.trace != nil {
 		n.trace(TraceEvent{Time: n.K.Now(), From: m.From, To: m.To, Kind: m.Kind, Size: m.Size, Event: ev})
@@ -366,24 +507,24 @@ func (n *Network) emit(ev string, m Message) {
 		case "send":
 			om.sent.Inc()
 			om.bytes.Add(int64(m.Size))
-			om.link(m.From, m.To).bytes.Add(int64(m.Size))
+			n.link(m.From, m.To).bytes.Add(int64(m.Size))
 		case "deliver":
 			om.delivered.Inc()
 		case "drop-crash":
 			om.dropCrash.Inc()
-			om.link(m.From, m.To).drops.Inc()
+			n.link(m.From, m.To).drops.Inc()
 		case "drop-partition":
 			om.dropPartition.Inc()
-			om.link(m.From, m.To).drops.Inc()
+			n.link(m.From, m.To).drops.Inc()
 		case "drop-fault":
 			om.dropFault.Inc()
-			om.link(m.From, m.To).drops.Inc()
+			n.link(m.From, m.To).drops.Inc()
 		case "drop-loss":
 			om.dropLoss.Inc()
-			om.link(m.From, m.To).drops.Inc()
+			n.link(m.From, m.To).drops.Inc()
 		case "drop-nohandler":
 			om.dropNoHandler.Inc()
-			om.link(m.From, m.To).drops.Inc()
+			n.link(m.From, m.To).drops.Inc()
 		case "crash":
 			om.crashes.Inc()
 		case "recover":
@@ -397,12 +538,11 @@ func (n *Network) emit(ev string, m Message) {
 // belongs to no partition group), and liveness callbacks fire.
 // Idempotent.
 func (n *Network) Crash(id NodeID) {
-	nd := n.nodes[id]
-	if nd.Down {
+	if n.down[id] {
 		return
 	}
-	nd.Down = true
-	delete(n.partition, id)
+	n.down[id] = true
+	n.partition[id] = 0
 	n.stats.Crashes++
 	n.emit("crash", Message{From: id, To: id})
 	for _, fn := range n.liveness {
@@ -414,11 +554,10 @@ func (n *Network) Crash(id NodeID) {
 // (the default); handlers installed before the crash remain in place.
 // Idempotent.
 func (n *Network) Recover(id NodeID) {
-	nd := n.nodes[id]
-	if !nd.Down {
+	if !n.down[id] {
 		return
 	}
-	nd.Down = false
+	n.down[id] = false
 	n.stats.Recoveries++
 	n.emit("recover", Message{From: id, To: id})
 	for _, fn := range n.liveness {
@@ -438,15 +577,13 @@ func (n *Network) RecoverAt(t time.Duration, id NodeID) {
 
 // Latency returns the modeled one-way latency between two nodes.
 func (n *Network) Latency(a, b NodeID) time.Duration {
-	na, nb := n.nodes[a], n.nodes[b]
-	d := math.Hypot(na.X-nb.X, na.Y-nb.Y)
+	d := math.Hypot(n.xs[a]-n.xs[b], n.ys[a]-n.ys[b])
 	return n.cfg.BaseLatency + time.Duration(d*float64(n.cfg.LatencyPerUnit))
 }
 
 // Distance returns the plane distance between two nodes.
 func (n *Network) Distance(a, b NodeID) float64 {
-	na, nb := n.nodes[a], n.nodes[b]
-	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
+	return math.Hypot(n.xs[a]-n.xs[b], n.ys[a]-n.ys[b])
 }
 
 // SetPartition places a node into a partition group.  Messages between
@@ -454,14 +591,16 @@ func (n *Network) Distance(a, b NodeID) float64 {
 // no partition state (they are not on the network at all); crash sheds
 // membership and recovery rejoins group 0.
 func (n *Network) SetPartition(id NodeID, group int) {
-	if n.nodes[id].Down {
+	if n.down[id] {
 		return
 	}
-	n.partition[id] = group
+	n.partition[id] = int32(group)
 }
 
 // ClearPartitions heals all partitions.
-func (n *Network) ClearPartitions() { n.partition = make(map[NodeID]int) }
+func (n *Network) ClearPartitions() {
+	clear(n.partition)
+}
 
 // NoteRetry records one protocol-level retransmission under the given
 // message kind.  Retry layers (routing failover, fragment re-request,
@@ -486,13 +625,12 @@ func (n *Network) NoteRetry(kind string) {
 // schedules delivery after the modeled latency unless the message is
 // dropped by a crash, partition, fault plan, or random loss.
 func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
-	if from < 0 || int(from) >= len(n.nodes) || to < 0 || int(to) >= len(n.nodes) {
+	if from < 0 || int(from) >= len(n.addrs) || to < 0 || int(to) >= len(n.addrs) {
 		panic(fmt.Sprintf("simnet: send %d->%d out of range", from, to))
 	}
 	n.nextMsgID++
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size, ID: n.nextMsgID}
-	src := n.nodes[from]
-	if src.Down {
+	if n.down[from] {
 		// A crashed node sends nothing and pays nothing, but the loss is
 		// visible in the crash-drop counter.
 		n.stats.MessagesDropped++
@@ -536,7 +674,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
 		n.enqueueBatched(msg, lat)
 		return
 	}
-	n.K.After(lat, func() { n.Deliver(msg) })
+	n.K.Post(n.shardOf(from), n.shardOf(to), n.K.Now()+lat, func() { n.Deliver(msg) })
 }
 
 // msgBatch collects the messages due at one virtual tick.
@@ -547,7 +685,11 @@ type msgBatch struct {
 // enqueueBatched appends the message to the batch for its delivery
 // tick, creating the batch — and its single kernel event — on first
 // use.  Append order is send order, which matches the unbatched
-// heap's (time, seq) order for equal-time deliveries.
+// heap's (time, seq) order for equal-time deliveries.  Batches stay
+// network-global even on a sharded kernel: one flush event serves a
+// tick regardless of how many regions its messages land in, which is
+// exactly what keeps a sharded run's event set — and therefore its
+// trajectory — identical to an unsharded one.
 func (n *Network) enqueueBatched(m Message, lat time.Duration) {
 	due := n.K.Now() + lat
 	b, ok := n.batches[due]
@@ -603,14 +745,14 @@ func (n *Network) putBatch(b *msgBatch) {
 // the wire (local applies, test harnesses) should go through it rather
 // than invoking handlers themselves.
 func (n *Network) Deliver(m Message) bool {
-	dst := n.nodes[m.To]
-	if dst.Down {
+	if n.down[m.To] {
 		n.stats.MessagesDropped++
 		n.stats.DroppedByCrash++
 		n.emit("drop-crash", m)
 		return false
 	}
-	if len(dst.handlers) == 0 {
+	hs := n.handlers[m.To]
+	if len(hs) == 0 && len(n.global) == 0 {
 		n.stats.MessagesDropped++
 		n.stats.DroppedNoHandler++
 		n.emit("drop-nohandler", m)
@@ -618,23 +760,35 @@ func (n *Network) Deliver(m Message) bool {
 	}
 	n.stats.MessagesDelivered++
 	n.emit("deliver", m)
-	for _, h := range dst.handlers {
+	for _, g := range n.global {
+		g(m.To, m)
+	}
+	for _, h := range hs {
 		h(m)
 	}
 	return true
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters.  The ByKind and
+// RetriesByKind maps in the returned value are reused by the next
+// Stats call — copy them if they must outlive it.  Steady-state
+// snapshots allocate nothing.
 func (n *Network) Stats() Stats {
 	s := n.stats
-	s.ByKind = make(map[string]int64, len(n.stats.ByKind))
+	if n.snapByKind == nil {
+		n.snapByKind = make(map[string]int64, len(n.stats.ByKind))
+		n.snapRetries = make(map[string]int, len(n.stats.RetriesByKind))
+	}
+	clear(n.snapByKind)
 	for k, v := range n.stats.ByKind {
-		s.ByKind[k] = v
+		n.snapByKind[k] = v
 	}
-	s.RetriesByKind = make(map[string]int, len(n.stats.RetriesByKind))
+	clear(n.snapRetries)
 	for k, v := range n.stats.RetriesByKind {
-		s.RetriesByKind[k] = v
+		n.snapRetries[k] = v
 	}
+	s.ByKind = n.snapByKind
+	s.RetriesByKind = n.snapRetries
 	return s
 }
 

@@ -86,7 +86,7 @@ func TestCrashedNodes(t *testing.T) {
 	delivered := 0
 	net.Node(1).Handle(func(Message) { delivered++ })
 
-	net.Node(1).Down = true
+	net.Node(1).SetDown(true)
 	net.Send(0, 1, "x", nil, 1)
 	k.Run()
 	if delivered != 0 {
@@ -94,15 +94,15 @@ func TestCrashedNodes(t *testing.T) {
 	}
 	// Crashed sender pays nothing and sends nothing.
 	net.ResetStats()
-	net.Node(1).Down = false
-	net.Node(0).Down = true
+	net.Node(1).SetDown(false)
+	net.Node(0).SetDown(true)
 	net.Send(0, 1, "x", nil, 1)
 	k.Run()
 	if s := net.Stats(); s.MessagesSent != 0 || s.BytesSent != 0 {
 		t.Fatalf("down sender accounted: %+v", s)
 	}
 	// Recovery: node comes back up and receives again.
-	net.Node(0).Down = false
+	net.Node(0).SetDown(false)
 	net.Send(0, 1, "x", nil, 1)
 	k.Run()
 	if delivered != 1 {
@@ -158,14 +158,14 @@ func TestAddRandomNodesDomains(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for _, nd := range nodes {
-		if nd.X < 0 || nd.X > 10 || nd.Y < 0 || nd.Y > 10 {
+		if nd.X() < 0 || nd.X() > 10 || nd.Y() < 0 || nd.Y() > 10 {
 			t.Fatalf("node outside extent: %+v", nd)
 		}
-		if nd.Domain < 0 || nd.Domain >= 5 {
-			t.Fatalf("bad domain %d", nd.Domain)
+		if nd.Domain() < 0 || nd.Domain() >= 5 {
+			t.Fatalf("bad domain %d", nd.Domain())
 		}
-		seen[nd.Domain] = true
-		if nd.Addr.IsZero() {
+		seen[nd.Domain()] = true
+		if nd.Addr().IsZero() {
 			t.Fatal("node has zero GUID")
 		}
 	}
