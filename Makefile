@@ -8,9 +8,9 @@ PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
 	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/ \
 	./internal/sim/ ./internal/simnet/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 cover cover-write soak-smoke scenarios-smoke
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 bench-mem bench-json-pr8 cover cover-write soak-smoke scenarios-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke bench-gate-pr7
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke bench-gate-pr7 bench-mem
 
 vet:
 	$(GO) vet ./...
@@ -68,20 +68,29 @@ cover-write:
 # Determinism gate for the soak engine at scale: the same seeded
 # 100k-node soak must emit byte-identical metrics and summary at
 # GOMAXPROCS 1 and 4, and at any kernel shard count (-shards 1 vs the
-# default region-scaled sharding).  The full-scale run is
+# default region-scaled sharding).  The run also asserts a peak-RSS
+# budget (the mem line osexp prints to stderr): the zero-alloc
+# messaging work holds 100k nodes + 10k ops under ~265 MB, and the
+# budget fails the gate if resident memory doubles.  The full-scale
+# run is
 #   osexp -metrics soak.txt soak 1 -nodes 1000000 -ops 1000000
+SOAK_RSS_BUDGET_MB ?= 512
 soak-smoke:
 	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
 	tmp=$$(mktemp -d); \
-	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 100000 -ops 10000 > $$tmp/out1.txt || exit 1; \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 100000 -ops 10000 > $$tmp/out1.txt 2> $$tmp/mem1.txt || exit 1; \
 	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt soak 1 -nodes 100000 -ops 10000 > $$tmp/out4.txt || exit 1; \
 	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/ms1.txt soak 1 -nodes 100000 -ops 10000 -shards 1 > $$tmp/outs1.txt || exit 1; \
 	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "soak-smoke: metrics differ across GOMAXPROCS"; exit 1; fi; \
 	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "soak-smoke: summaries differ across GOMAXPROCS"; exit 1; fi; \
 	if ! cmp -s $$tmp/m4.txt $$tmp/ms1.txt; then echo "soak-smoke: metrics differ across shard counts"; exit 1; fi; \
 	if ! cmp -s $$tmp/out4.txt $$tmp/outs1.txt; then echo "soak-smoke: summaries differ across shard counts"; exit 1; fi; \
+	rss=$$(sed -n 's/.*peak RSS \([0-9.]*\) MB.*/\1/p' $$tmp/mem1.txt); \
+	if [ -z "$$rss" ]; then echo "soak-smoke: no peak RSS line on stderr"; exit 1; fi; \
+	if awk "BEGIN{exit !($$rss > $(SOAK_RSS_BUDGET_MB))}"; then \
+		echo "soak-smoke: peak RSS $$rss MB exceeds budget $(SOAK_RSS_BUDGET_MB) MB"; exit 1; fi; \
 	rm -rf $$tmp; \
-	echo "soak-smoke: 100k nodes byte-identical at GOMAXPROCS 1 and 4 and at shards 1 vs default"
+	echo "soak-smoke: 100k nodes byte-identical at GOMAXPROCS 1 and 4 and at shards 1 vs default; peak RSS $$rss MB within $(SOAK_RSS_BUDGET_MB) MB"
 
 # Adversarial gate: run the whole scenario catalogue — every defense
 # armed (invariants must hold) and switched off (invariants must
@@ -126,3 +135,19 @@ bench-json-pr7:
 bench-gate-pr7:
 	$(GO) test -run '^$$' -bench SoakOpsPerCore -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR7.txt -gate $(GATE_PCT) -o /dev/null
+
+# Memory-regression gate (PR 8): the message-path and per-commit
+# benchmarks run with -benchmem and their allocs/op are compared to
+# bench/BASELINE_PR8.txt.  The messaging benches are pinned at ZERO
+# allocs/op — any new allocation on those paths trips the gate at any
+# threshold (0 baseline + nonzero current = infinite regression).
+bench-mem:
+	$(GO) test -run '^$$' -bench 'MsgUnbatched|MsgBatched|VersionGUID|BlockEncrypt' -benchmem . \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR8.txt -gate-allocs 10 -o /dev/null
+
+# PR 8 scale benchmark: refresh BENCH_PR8.json — soak throughput at 10k
+# and 100k nodes (vs the PR 7 pre-shard baseline) with allocs/op from
+# the memory benches alongside.
+bench-json-pr8:
+	$(GO) test -run '^$$' -bench 'SoakOpsPerCore|MsgUnbatched|MsgBatched|VersionGUID|BlockEncrypt' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR7.txt -o BENCH_PR8.json

@@ -15,8 +15,11 @@
 // With -gate PCT the command becomes a regression gate: after writing
 // the report it exits non-zero if any benchmark's current ns/op is
 // more than PCT percent slower than its baseline, printing one line
-// per offender.  Benchmarks missing from either side never trip the
-// gate (new benchmarks and retired ones are not regressions).
+// per offender.  -gate-allocs PCT does the same for allocs/op, so a
+// zero-alloc hot path stays zero-alloc: a benchmark whose baseline is
+// 0 allocs/op trips the gate the moment it allocates at all.
+// Benchmarks missing from either side never trip either gate (new
+// benchmarks and retired ones are not regressions).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -47,6 +51,10 @@ type entry struct {
 	Current  metrics `json:"current,omitempty"`
 	// Speedup is baseline ns/op divided by current ns/op: >1 is faster.
 	Speedup float64 `json:"speedup,omitempty"`
+	// AllocRatio is baseline allocs/op divided by current allocs/op:
+	// >1 is leaner.  Omitted unless both sides ran with -benchmem and
+	// allocate at all (a 0-alloc side would make the ratio meaningless).
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
 // parse reads `go test -bench` output, tracking the current package from
@@ -97,26 +105,39 @@ func parse(r io.Reader) (map[string]metrics, map[string]string, error) {
 
 // regression describes one benchmark that tripped the gate.
 type regression struct {
-	name               string
-	baseNs, curNs, pct float64
+	name           string
+	base, cur, pct float64
 }
 
-// gate compares current against baseline ns/op and returns every
-// benchmark more than maxSlowdownPct percent slower, sorted worst
-// first.  Benchmarks absent from either side are skipped.
-func gate(baseline, current map[string]metrics, maxSlowdownPct float64) []regression {
+// gate compares current against baseline for one unit and returns
+// every benchmark more than maxPct percent worse (higher), sorted
+// worst first.  Benchmarks absent from either side are skipped, as
+// are benchmarks that never report the unit.  A zero baseline with a
+// non-zero current is an infinite regression — a hot path that was
+// allocation-free and now allocates always trips.
+func gate(baseline, current map[string]metrics, unit string, maxPct float64) []regression {
 	var out []regression
 	for name, cur := range current {
 		base, ok := baseline[name]
 		if !ok {
 			continue
 		}
-		b, c := base["ns/op"], cur["ns/op"]
-		if b <= 0 || c <= 0 {
+		b, bok := base[unit]
+		c, cok := cur[unit]
+		if !bok || !cok {
 			continue
 		}
-		if pct := (c - b) / b * 100; pct > maxSlowdownPct {
-			out = append(out, regression{name: name, baseNs: b, curNs: c, pct: pct})
+		var pct float64
+		switch {
+		case c <= b:
+			continue
+		case b == 0:
+			pct = math.Inf(1)
+		default:
+			pct = (c - b) / b * 100
+		}
+		if pct > maxPct {
+			out = append(out, regression{name: name, base: b, cur: c, pct: pct})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -126,6 +147,24 @@ func gate(baseline, current map[string]metrics, maxSlowdownPct float64) []regres
 		return out[i].name < out[j].name
 	})
 	return out
+}
+
+// runGate applies one unit's gate and prints offenders; returns
+// whether anything tripped.
+func runGate(baseline, current map[string]metrics, baselinePath, unit string, maxPct float64) bool {
+	regs := gate(baseline, current, unit, maxPct)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed — no benchmark more than %.0f%% worse in %s than %s\n",
+			maxPct, unit, baselinePath)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) more than %.0f%% worse in %s than %s:\n",
+		len(regs), maxPct, unit, baselinePath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %-40s %12.0f -> %12.0f %s  (+%.1f%%)\n",
+			r.name, r.base, r.cur, unit, r.pct)
+	}
+	return true
 }
 
 func parseFile(path string) (map[string]metrics, map[string]string, error) {
@@ -141,6 +180,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "prior `go test -bench` output to compare against")
 	out := flag.String("o", "", "output file (default stdout)")
 	gatePct := flag.Float64("gate", -1, "exit non-zero if any benchmark is more than `pct` percent slower than baseline")
+	gateAllocs := flag.Float64("gate-allocs", -1, "exit non-zero if any benchmark's allocs/op is more than `pct` percent above baseline (0-alloc baselines trip on any allocation)")
 	flag.Parse()
 
 	current, curPkgs, err := parse(os.Stdin)
@@ -174,6 +214,9 @@ func main() {
 		if b, c := e.Baseline["ns/op"], e.Current["ns/op"]; b > 0 && c > 0 {
 			e.Speedup = float64(int(b/c*100+0.5)) / 100
 		}
+		if b, c := e.Baseline["allocs/op"], e.Current["allocs/op"]; b > 0 && c > 0 {
+			e.AllocRatio = float64(int(b/c*100+0.5)) / 100
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 	sort.Slice(rep.Benchmarks, func(i, j int) bool {
@@ -199,22 +242,20 @@ func main() {
 		}
 	}
 
-	if *gatePct >= 0 {
+	if *gatePct >= 0 || *gateAllocs >= 0 {
 		if *baselinePath == "" {
-			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			fmt.Fprintln(os.Stderr, "benchjson: -gate/-gate-allocs require -baseline")
 			os.Exit(1)
 		}
-		regs := gate(baseline, current, *gatePct)
-		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) more than %.0f%% slower than %s:\n",
-				len(regs), *gatePct, *baselinePath)
-			for _, r := range regs {
-				fmt.Fprintf(os.Stderr, "  %-40s %12.0f -> %12.0f ns/op  (+%.1f%%)\n",
-					r.name, r.baseNs, r.curNs, r.pct)
-			}
+		tripped := false
+		if *gatePct >= 0 {
+			tripped = runGate(baseline, current, *baselinePath, "ns/op", *gatePct) || tripped
+		}
+		if *gateAllocs >= 0 {
+			tripped = runGate(baseline, current, *baselinePath, "allocs/op", *gateAllocs) || tripped
+		}
+		if tripped {
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: gate passed — no benchmark more than %.0f%% slower than %s\n",
-			*gatePct, *baselinePath)
 	}
 }

@@ -57,7 +57,7 @@ func TestGate(t *testing.T) {
 
 	// At 10%: RSEncode is +20% (trips); RSDecode is +1% (passes);
 	// OnlyHere/OnlyNow are one-sided (never trip).
-	regs := gate(base, cur, 10)
+	regs := gate(base, cur, "ns/op", 10)
 	if len(regs) != 1 {
 		t.Fatalf("gate(10%%) = %v, want exactly RSEncode", regs)
 	}
@@ -69,13 +69,69 @@ func TestGate(t *testing.T) {
 	}
 
 	// At 25% nothing trips.
-	if regs := gate(base, cur, 25); len(regs) != 0 {
+	if regs := gate(base, cur, "ns/op", 25); len(regs) != 0 {
 		t.Fatalf("gate(25%%) = %v, want empty", regs)
 	}
 
 	// At 0% both regressions trip, worst first.
-	regs = gate(base, cur, 0)
+	regs = gate(base, cur, "ns/op", 0)
 	if len(regs) != 2 || regs[0].name != "RSEncode" || regs[1].name != "RSDecode" {
 		t.Fatalf("gate(0%%) = %v, want [RSEncode RSDecode]", regs)
+	}
+}
+
+const sampleMemBase = `pkg: oceanstore/internal/simnet
+BenchmarkSendDeliver-8     	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBatchTick-8       	  500000	      2100 ns/op	     128 B/op	       2 allocs/op
+BenchmarkRouteHop-8        	 2000000	       800 ns/op	      64 B/op	       4 allocs/op
+PASS
+`
+
+const sampleMemCurrent = `pkg: oceanstore/internal/simnet
+BenchmarkSendDeliver-8     	 1000000	      1050 ns/op	      48 B/op	       1 allocs/op
+BenchmarkBatchTick-8       	  500000	      2050 ns/op	     128 B/op	       2 allocs/op
+BenchmarkRouteHop-8        	 2000000	       790 ns/op	      32 B/op	       2 allocs/op
+PASS
+`
+
+func TestParseBenchmem(t *testing.T) {
+	m, _, err := parse(strings.NewReader(sampleMemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := m["BatchTick"]
+	if bt["allocs/op"] != 2 || bt["B/op"] != 128 {
+		t.Fatalf("BatchTick mem metrics = %v", bt)
+	}
+	if sd := m["SendDeliver"]; sd["allocs/op"] != 0 {
+		t.Fatalf("SendDeliver allocs/op = %v, want 0", sd["allocs/op"])
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base, _, err := parse(strings.NewReader(sampleMemBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := parse(strings.NewReader(sampleMemCurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SendDeliver went 0 -> 1 allocs/op: an infinite regression that
+	// trips at any threshold.  BatchTick is flat and RouteHop improved;
+	// neither trips.
+	regs := gate(base, cur, "allocs/op", 50)
+	if len(regs) != 1 || regs[0].name != "SendDeliver" {
+		t.Fatalf("gate(allocs, 50%%) = %v, want exactly SendDeliver", regs)
+	}
+
+	// ns/op-only benchmarks (no -benchmem) never trip the alloc gate.
+	plain, _, err := parse(strings.NewReader(sampleCurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := gate(base, plain, "allocs/op", 0); len(regs) != 0 {
+		t.Fatalf("gate over unit-less side = %v, want empty", regs)
 	}
 }

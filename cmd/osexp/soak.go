@@ -4,9 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"oceanstore/internal/core"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/workload"
 )
 
@@ -137,11 +139,15 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	committed := 0
 	for _, obj := range world.Objects() {
 		if ring, ok := world.Pool.Ring(obj); ok {
-			committed += len(ring.PrimaryState().Log.Commits())
+			n, _ := ring.PrimaryState().Log.Counts()
+			committed += n
 		}
 	}
 	fmt.Fprintf(w, "committed updates across objects: %d\n", committed)
 	if st.InFlight != 0 {
 		fmt.Fprintf(w, "WARNING: %d operations still in flight after drain\n", st.InFlight)
 	}
+	// Memory facts go to stderr, not the report: the report rides the
+	// determinism comparisons and RSS/GC numbers are machine noise.
+	obs.SampleMem().Report(os.Stderr)
 }

@@ -179,6 +179,19 @@ const (
 	kindViewChange = "byz-viewchange"
 )
 
+// replicaKinds are the wire kinds a tier replica receives; handler
+// registration demuxes on (kind, tag) so replicas of other objects
+// sharing a node are never invoked for this tier's traffic.
+var replicaKinds = [...]string{kindRequest, kindPrePrepare, kindPrepare, kindCommit, kindViewChange}
+
+// Demux keys (simnet O(1) dispatch): every protocol payload names its
+// tier by tag.
+func (r Request) Demux() simnet.DemuxKey        { return simnet.DemuxKey(r.Tag) }
+func (m prePrepareMsg) Demux() simnet.DemuxKey  { return simnet.DemuxKey(m.Tag) }
+func (m voteMsg) Demux() simnet.DemuxKey        { return simnet.DemuxKey(m.Tag) }
+func (m replyMsg) Demux() simnet.DemuxKey       { return simnet.DemuxKey(m.Tag) }
+func (m viewChangeMsg) Demux() simnet.DemuxKey  { return simnet.DemuxKey(m.Tag) }
+
 type prePrepareMsg struct {
 	Tag       guid.GUID
 	View, Seq uint64
@@ -230,6 +243,14 @@ type Group struct {
 	// RequestTimeout is how long a backup waits for the primary to
 	// pre-prepare a request it saw before voting a view change.
 	RequestTimeout time.Duration
+
+	// retainExecuted keeps the full per-replica execution order (the
+	// Executed diagnostic).  On by default; soak worlds switch it off so
+	// the order — useful only to tests — doesn't grow with traffic.
+	retainExecuted bool
+
+	// reqFree recycles client-side per-request records (reqState).
+	reqFree []*reqState
 
 	om  *byzMetrics
 	otr *obs.Tracer
@@ -286,14 +307,27 @@ func NewGroup(net *simnet.Network, nodes []simnet.NodeID, f int) (*Group, error)
 		f:              f,
 		clients:        make(map[simnet.NodeID]*clientState),
 		RequestTimeout: 3 * time.Second,
+		retainExecuted: true,
 	}
-	for i, nd := range nodes {
-		r := newReplica(g, i)
-		g.replicas = append(g.replicas, r)
+	for i := range nodes {
+		g.replicas = append(g.replicas, newReplica(g, i))
 		g.signers = append(g.signers, crypt.NewSigner(net.K.Rand()))
-		net.Node(nd).Handle(r.handle)
 	}
+	g.hookReplicas()
 	return g, nil
+}
+
+// hookReplicas registers every replica's handler under the current tag.
+// Handlers tag-filter themselves, so re-hooking after SetTag leaves the
+// old registrations inert.
+func (g *Group) hookReplicas() {
+	key := simnet.DemuxKey(g.tag)
+	for i, nd := range g.nodes {
+		n := g.net.Node(nd)
+		for _, k := range replicaKinds {
+			n.HandleDemux(k, key, g.replicas[i].handle)
+		}
+	}
 }
 
 // PublicKeys returns the replicas' certificate-verification keys, in
@@ -308,7 +342,13 @@ func (g *Group) PublicKeys() [][]byte {
 
 // SetTag scopes the group's protocol messages to an object, so several
 // groups can share physical nodes.  Set before the first Submit.
-func (g *Group) SetTag(tag guid.GUID) { g.tag = tag }
+func (g *Group) SetTag(tag guid.GUID) {
+	if tag == g.tag {
+		return
+	}
+	g.tag = tag
+	g.hookReplicas()
+}
 
 // N returns the tier size.
 func (g *Group) N() int { return len(g.nodes) }
@@ -319,6 +359,10 @@ func (g *Group) F() int { return g.f }
 // SetFault injects a failure mode into replica i.
 func (g *Group) SetFault(i int, f Fault) { g.replicas[i].fault = f }
 
+// SetRetainExecuted toggles retention of the full execution order
+// (Executed); disable on long runs where nothing reads it.
+func (g *Group) SetRetainExecuted(on bool) { g.retainExecuted = on }
+
 // SetExecutor installs the committed-update callback on replica i.
 func (g *Group) SetExecutor(i int, e Executor) { g.replicas[i].exec = e }
 
@@ -328,14 +372,74 @@ func (g *Group) Executed(i int) []guid.GUID {
 	return append([]guid.GUID(nil), g.replicas[i].executed...)
 }
 
+// reqState is one outstanding request's reply bookkeeping: per-replica
+// (seq, digest, signature) votes in flat arrays indexed by replica id.
+// The tier is tiny (3f+1), so arrays replace the nested
+// req→seq→replica maps the client side used to allocate per request —
+// and retired reqStates recycle through the group's pool.
+type reqState struct {
+	sent     time.Duration // submit time
+	callback func(Result)
+	have     []bool
+	seqs     []uint64
+	digests  []guid.GUID
+	sigs     []*sigPromise
+}
+
 // clientState tracks reply quorums per request for one client node.
+// Entries live only while the request is outstanding: completion and
+// Cancel release every per-request record, so a long run's client
+// state is O(in-flight requests), not O(requests ever).  A request is
+// outstanding exactly while its `pending` entry exists — late replies
+// and the retransmission loop both gate on it.
 type clientState struct {
-	sent      map[guid.GUID]time.Duration           // submit time
-	replies   map[guid.GUID]map[int]guid.GUID       // req -> replica -> digest
-	sigs      map[guid.GUID]map[int]*sigPromise     // req -> replica -> signature promise
-	callbacks map[guid.GUID]func(Result)            // completion callbacks
-	seqs      map[guid.GUID]map[uint64]map[int]bool // req -> seq votes
-	done      map[guid.GUID]bool
+	pending map[guid.GUID]*reqState
+	// done remembers recently resolved/cancelled request IDs so a
+	// duplicate Submit is ignored; bounded FIFO (doneRing), same horizon
+	// argument as the replica-side doneWindow.
+	done     map[guid.GUID]bool
+	doneRing []guid.GUID
+	doneHead int
+}
+
+// getReq pulls a scrubbed reqState from the pool (or allocates one
+// sized to the tier).
+func (g *Group) getReq() *reqState {
+	if k := len(g.reqFree); k > 0 {
+		rs := g.reqFree[k-1]
+		g.reqFree = g.reqFree[:k-1]
+		return rs
+	}
+	n := len(g.replicas)
+	return &reqState{
+		have: make([]bool, n), seqs: make([]uint64, n),
+		digests: make([]guid.GUID, n), sigs: make([]*sigPromise, n),
+	}
+}
+
+// clearReq retires a resolved (or abandoned) request's bookkeeping,
+// records it in the client's bounded done-set, and recycles the record.
+func (g *Group) clearReq(cs *clientState, id guid.GUID) {
+	if rs, ok := cs.pending[id]; ok {
+		delete(cs.pending, id)
+		rs.callback = nil
+		clear(rs.have)
+		clear(rs.seqs)
+		clear(rs.digests)
+		clear(rs.sigs) // drop promise references for the GC
+		g.reqFree = append(g.reqFree, rs)
+	}
+	if cs.done[id] {
+		return
+	}
+	cs.done[id] = true
+	if len(cs.doneRing) < doneWindow {
+		cs.doneRing = append(cs.doneRing, id)
+	} else {
+		delete(cs.done, cs.doneRing[cs.doneHead])
+		cs.doneRing[cs.doneHead] = id
+		cs.doneHead = (cs.doneHead + 1) % doneWindow
+	}
 }
 
 // Submit sends a request from the given client node to the primary
@@ -347,20 +451,27 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 	cs := g.clients[client]
 	if cs == nil {
 		cs = &clientState{
-			sent:      make(map[guid.GUID]time.Duration),
-			replies:   make(map[guid.GUID]map[int]guid.GUID),
-			sigs:      make(map[guid.GUID]map[int]*sigPromise),
-			callbacks: make(map[guid.GUID]func(Result)),
-			seqs:      make(map[guid.GUID]map[uint64]map[int]bool),
-			done:      make(map[guid.GUID]bool),
+			pending: make(map[guid.GUID]*reqState),
+			done:    make(map[guid.GUID]bool),
 		}
 		g.clients[client] = cs
-		g.net.Node(client).Handle(func(m simnet.Message) { g.clientHandle(client, m) })
+		g.net.Node(client).HandleDemux(kindReply, simnet.DemuxKey(g.tag),
+			func(m simnet.Message) { g.clientHandle(client, m) })
 	}
 	req.Client = client
 	req.Tag = g.tag
-	cs.sent[req.ID] = g.net.K.Now()
-	cs.callbacks[req.ID] = onDone
+	if cs.done[req.ID] {
+		// Duplicate submit of a resolved request: replicas will answer
+		// with re-replies, which drop at the client; no new callback.
+		return
+	}
+	rs, live := cs.pending[req.ID]
+	if !live {
+		rs = g.getReq()
+		cs.pending[req.ID] = rs
+	}
+	rs.sent = g.net.K.Now()
+	rs.callback = onDone
 	if g.om != nil {
 		g.om.submits.Inc()
 	}
@@ -387,7 +498,7 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 	// propose it.
 	var retransmit func()
 	retransmit = func() {
-		if cs.done[req.ID] {
+		if _, live := cs.pending[req.ID]; !live {
 			return
 		}
 		g.net.NoteRetry(kindRequest)
@@ -408,11 +519,10 @@ func (g *Group) Submit(client simnet.NodeID, req Request, onDone func(Result)) {
 // timed-out request cannot hold virtual time hostage.
 func (g *Group) Cancel(client simnet.NodeID, id guid.GUID) {
 	cs := g.clients[client]
-	if cs == nil || cs.done[id] {
+	if cs == nil {
 		return
 	}
-	cs.done[id] = true
-	delete(cs.callbacks, id)
+	g.clearReq(cs, id)
 }
 
 // currentView reports the highest view any live replica is in — the
@@ -433,63 +543,59 @@ func (g *Group) clientHandle(client simnet.NodeID, m simnet.Message) {
 		return
 	}
 	cs := g.clients[client]
-	if cs == nil || cs.done[rep.ID] {
+	if cs == nil {
 		return
 	}
-	if _, known := cs.sent[rep.ID]; !known {
+	// Resolved and cancelled requests have no pending entry; their late
+	// replies drop here.
+	rs, known := cs.pending[rep.ID]
+	if !known || rep.From < 0 || rep.From >= len(rs.have) {
 		return
 	}
-	if cs.replies[rep.ID] == nil {
-		cs.replies[rep.ID] = make(map[int]guid.GUID)
-		cs.sigs[rep.ID] = make(map[int]*sigPromise)
-		cs.seqs[rep.ID] = make(map[uint64]map[int]bool)
-	}
-	cs.replies[rep.ID][rep.From] = rep.Digest
-	cs.sigs[rep.ID][rep.From] = rep.Sig
-	if cs.seqs[rep.ID][rep.Seq] == nil {
-		cs.seqs[rep.ID][rep.Seq] = make(map[int]bool)
-	}
-	cs.seqs[rep.ID][rep.Seq][rep.From] = true
+	rs.have[rep.From] = true
+	rs.seqs[rep.From] = rep.Seq
+	rs.digests[rep.From] = rep.Digest
+	rs.sigs[rep.From] = rep.Sig
 	// Accept when f+1 replicas agree on the same (seq, digest): at least
-	// one is honest, so the result is correct (§4.4.3).
-	for seq, voters := range cs.seqs[rep.ID] {
-		agree := 0
-		for from := range voters {
-			if cs.replies[rep.ID][from] == rep.ID {
-				agree++
-			}
+	// one is honest, so the result is correct (§4.4.3).  Only the
+	// arriving reply's seq can newly reach quorum, so that is the only
+	// combination to count.
+	agree := 0
+	for i, ok := range rs.have {
+		if ok && rs.seqs[i] == rep.Seq && rs.digests[i] == rep.ID {
+			agree++
 		}
-		if agree >= g.f+1 {
-			cs.done[rep.ID] = true
-			cb := cs.callbacks[rep.ID]
-			cert := &CommitCertificate{Tag: g.tag, Seq: seq, Digest: rep.ID, lazy: make(map[int]*sigPromise)}
-			for from := range voters {
-				if cs.replies[rep.ID][from] == rep.ID {
-					cert.lazy[from] = cs.sigs[rep.ID][from]
-				}
-			}
-			res := Result{
-				Seq:         seq,
-				ID:          rep.ID,
-				Latency:     g.net.K.Now() - cs.sent[rep.ID],
-				Committed:   true,
-				Certificate: cert,
-			}
-			if g.om != nil {
-				g.om.commits.Inc()
-				g.om.commitLatency.ObserveDuration(res.Latency)
-			}
-			if g.otr != nil {
-				g.otr.Emit(obs.Event{
-					T: int64(g.net.K.Now()), Node: int(client), Peer: rep.From,
-					Layer: "byz", Event: "commit", ID: rep.ID.Uint64(),
-				})
-			}
-			if cb != nil {
-				cb(res)
-			}
-			return
+	}
+	if agree < g.f+1 {
+		return
+	}
+	cb := rs.callback
+	cert := &CommitCertificate{Tag: g.tag, Seq: rep.Seq, Digest: rep.ID, lazy: make(map[int]*sigPromise)}
+	for i, ok := range rs.have {
+		if ok && rs.seqs[i] == rep.Seq && rs.digests[i] == rep.ID {
+			cert.lazy[i] = rs.sigs[i]
 		}
+	}
+	res := Result{
+		Seq:         rep.Seq,
+		ID:          rep.ID,
+		Latency:     g.net.K.Now() - rs.sent,
+		Committed:   true,
+		Certificate: cert,
+	}
+	g.clearReq(cs, rep.ID)
+	if g.om != nil {
+		g.om.commits.Inc()
+		g.om.commitLatency.ObserveDuration(res.Latency)
+	}
+	if g.otr != nil {
+		g.otr.Emit(obs.Event{
+			T: int64(g.net.K.Now()), Node: int(client), Peer: rep.From,
+			Layer: "byz", Event: "commit", ID: rep.ID.Uint64(),
+		})
+	}
+	if cb != nil {
+		cb(res)
 	}
 }
 

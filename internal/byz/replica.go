@@ -14,22 +14,31 @@ import (
 // with the digest they carried; only votes matching the pre-prepared
 // request's digest count toward quorums, which both tolerates
 // out-of-order arrival and defeats lying replicas.
+//
+// Vote state is flat per-replica arrays, not maps: the tier is small
+// (3f+1, typically 4–7), so a slot is two digest arrays and two voted
+// bitmaps that a pooled slot reuses across sequence numbers — the
+// per-slot map allocations used to be a top heap consumer in soak
+// profiles.
 type slot struct {
 	req       Request
 	hasReq    bool
 	digest    guid.GUID
-	prepares  map[int]guid.GUID
-	commits   map[int]guid.GUID
 	prepared  bool
 	committed bool
 	executed  bool
+	// Indexed by replica id.
+	prepVoted []bool
+	prepares  []guid.GUID
+	commVoted []bool
+	commits   []guid.GUID
 }
 
 // quorum counts votes matching the slot's digest.
-func (s *slot) quorum(votes map[int]guid.GUID) int {
+func (s *slot) quorum(voted []bool, digests []guid.GUID) int {
 	n := 0
-	for _, d := range votes {
-		if d == s.digest {
+	for i, ok := range voted {
+		if ok && digests[i] == s.digest {
 			n++
 		}
 	}
@@ -64,8 +73,19 @@ type replica struct {
 	// doneIDs maps executed request IDs to their sequence number, so a
 	// client retransmission can be answered with a fresh reply (PBFT:
 	// "if the replica has already executed the request it re-sends the
-	// reply") even after the slot is truncated.
+	// reply") even after the slot is truncated.  Entries are evicted
+	// FIFO once doneWindow executions behind: client retransmissions
+	// stop within one retry period of execution, so answering them only
+	// needs a recent horizon — retaining every ID ever executed made
+	// the tier's memory grow with total traffic.
 	doneIDs map[guid.GUID]uint64
+	// doneRing holds the last doneWindow executed IDs in execution
+	// order, driving doneIDs/assigned eviction.
+	doneRing []guid.GUID
+	doneHead int
+	// slotFree recycles truncated slots (their vote arrays included),
+	// so steady-state agreement allocates no per-slot state.
+	slotFree []*slot
 }
 
 func newReplica(g *Group, id int) *replica {
@@ -194,17 +214,49 @@ func (r *replica) propose(req Request) {
 	// The primary acts as having pre-prepared and prepared its own slot.
 	s := r.slot(seq)
 	s.req, s.hasReq, s.digest = req, true, req.ID
-	s.prepares[r.id] = req.ID
+	s.setPrepare(r.id, req.ID)
 	r.maybePrepared(seq)
+}
+
+func (s *slot) setPrepare(id int, d guid.GUID) {
+	s.prepVoted[id] = true
+	s.prepares[id] = d
+}
+
+func (s *slot) setCommit(id int, d guid.GUID) {
+	s.commVoted[id] = true
+	s.commits[id] = d
 }
 
 func (r *replica) slot(seq uint64) *slot {
 	s, ok := r.slots[seq]
 	if !ok {
-		s = &slot{prepares: make(map[int]guid.GUID), commits: make(map[int]guid.GUID)}
+		if k := len(r.slotFree); k > 0 {
+			s = r.slotFree[k-1]
+			r.slotFree = r.slotFree[:k-1]
+		} else {
+			n := len(r.g.replicas)
+			s = &slot{
+				prepVoted: make([]bool, n), prepares: make([]guid.GUID, n),
+				commVoted: make([]bool, n), commits: make([]guid.GUID, n),
+			}
+		}
 		r.slots[seq] = s
 	}
 	return s
+}
+
+// putSlot scrubs a retired slot (dropping its payload reference) and
+// parks it for reuse.
+func (r *replica) putSlot(s *slot) {
+	s.req = Request{}
+	s.hasReq, s.prepared, s.committed, s.executed = false, false, false, false
+	s.digest = guid.Zero
+	clear(s.prepVoted)
+	clear(s.prepares)
+	clear(s.commVoted)
+	clear(s.commits)
+	r.slotFree = append(r.slotFree, s)
 }
 
 func (r *replica) onPrePrepare(pp prePrepareMsg) {
@@ -222,13 +274,13 @@ func (r *replica) onPrePrepare(pp prePrepareMsg) {
 	delete(r.timers, pp.Req.ID)
 
 	// The pre-prepare doubles as the primary's prepare vote (PBFT).
-	s.prepares[int(pp.View)%len(r.g.replicas)] = pp.Req.ID
+	s.setPrepare(int(pp.View)%len(r.g.replicas), pp.Req.ID)
 
 	digest := pp.Req.ID
 	if r.fault == Lying {
 		digest = guid.FromData([]byte("lie")) // corrupt vote
 	}
-	s.prepares[r.id] = digest
+	s.setPrepare(r.id, digest)
 	r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: pp.Seq, Digest: digest, Replica: r.id}, CSmall)
 	r.maybePrepared(pp.Seq)
 }
@@ -238,14 +290,14 @@ func (r *replica) onPrepare(v voteMsg) {
 		return
 	}
 	s := r.slot(v.Seq)
-	s.prepares[v.Replica] = v.Digest
+	s.setPrepare(v.Replica, v.Digest)
 	r.maybePrepared(v.Seq)
 }
 
 // maybePrepared fires when 2f+1 replicas (including this one) prepared.
 func (r *replica) maybePrepared(seq uint64) {
 	s := r.slot(seq)
-	if s.prepared || !s.hasReq || s.quorum(s.prepares) < 2*r.g.f+1 {
+	if s.prepared || !s.hasReq || s.quorum(s.prepVoted, s.prepares) < 2*r.g.f+1 {
 		return
 	}
 	s.prepared = true
@@ -253,7 +305,7 @@ func (r *replica) maybePrepared(seq uint64) {
 	if r.fault == Lying {
 		digest = guid.FromData([]byte("lie"))
 	}
-	s.commits[r.id] = digest
+	s.setCommit(r.id, digest)
 	r.broadcast(kindCommit, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: digest, Replica: r.id}, CSmall)
 	r.maybeCommitted(seq)
 }
@@ -263,14 +315,14 @@ func (r *replica) onCommit(v voteMsg) {
 		return
 	}
 	s := r.slot(v.Seq)
-	s.commits[v.Replica] = v.Digest
+	s.setCommit(v.Replica, v.Digest)
 	r.maybeCommitted(v.Seq)
 }
 
 // maybeCommitted fires when 2f+1 commits arrived; executes in order.
 func (r *replica) maybeCommitted(seq uint64) {
 	s := r.slot(seq)
-	if s.committed || !s.prepared || !s.hasReq || s.quorum(s.commits) < 2*r.g.f+1 {
+	if s.committed || !s.prepared || !s.hasReq || s.quorum(s.commVoted, s.commits) < 2*r.g.f+1 {
 		return
 	}
 	s.committed = true
@@ -281,6 +333,12 @@ func (r *replica) maybeCommitted(seq uint64) {
 // behind the execution cursor are discarded (PBFT's checkpoint/garbage
 // collection, simplified — votes for long-executed slots are useless).
 const checkpointWindow = 64
+
+// doneWindow bounds the executed-request dedup horizon (doneIDs and
+// assigned entries).  Retransmissions arrive at most one client retry
+// period after execution; 512 executions is orders of magnitude more
+// than any group commits in that span.
+const doneWindow = 512
 
 // executeReady executes committed slots in sequence order.
 func (r *replica) executeReady() {
@@ -301,7 +359,18 @@ func (r *replica) executeReady() {
 			continue
 		}
 		r.doneIDs[s.req.ID] = seq
-		r.executed = append(r.executed, s.digest)
+		if len(r.doneRing) < doneWindow {
+			r.doneRing = append(r.doneRing, s.req.ID)
+		} else {
+			old := r.doneRing[r.doneHead]
+			delete(r.doneIDs, old)
+			delete(r.assigned, old)
+			r.doneRing[r.doneHead] = s.req.ID
+			r.doneHead = (r.doneHead + 1) % doneWindow
+		}
+		if r.g.retainExecuted {
+			r.executed = append(r.executed, s.digest)
+		}
 		if om := r.g.om; om != nil {
 			om.executes.Inc()
 		}
@@ -341,11 +410,11 @@ func (r *replica) refreshVotes(seq uint64) {
 	if om := r.g.om; om != nil {
 		om.voteRefreshes.Inc()
 	}
-	if d, voted := s.prepares[r.id]; voted {
-		r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: d, Replica: r.id}, CSmall)
+	if s.prepVoted[r.id] {
+		r.broadcast(kindPrepare, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: s.prepares[r.id], Replica: r.id}, CSmall)
 	}
-	if d, voted := s.commits[r.id]; voted {
-		r.broadcast(kindCommit, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: d, Replica: r.id}, CSmall)
+	if s.commVoted[r.id] {
+		r.broadcast(kindCommit, voteMsg{Tag: r.g.tag, View: r.view, Seq: seq, Digest: s.commits[r.id], Replica: r.id}, CSmall)
 	}
 }
 
@@ -375,9 +444,10 @@ func (r *replica) truncateLog() {
 		return
 	}
 	floor := r.execCursor - checkpointWindow
-	for seq := range r.slots {
+	for seq, s := range r.slots {
 		if seq < floor {
 			delete(r.slots, seq)
+			r.putSlot(s)
 		}
 	}
 }
@@ -512,6 +582,7 @@ func (r *replica) installView(nv uint64) {
 				delete(r.assigned, s.req.ID)
 				r.pending[s.req.ID] = s.req
 			}
+			r.putSlot(s)
 		}
 	}
 	// Votes for views at or below the installed one are dead weight.

@@ -195,7 +195,7 @@ func (s *Session) acceptable(obj guid.GUID, r *epidemic.Replica) bool {
 // Read returns the object's logical contents as seen through the
 // session's guarantees.  The client must hold the read key.
 func (s *Session) Read(obj guid.GUID) ([]byte, error) {
-	key, ok := s.c.Keys.Key(obj)
+	bc, ok := s.c.Keys.Cipher(obj)
 	if !ok {
 		return nil, errors.New("core: read permission denied (no key)")
 	}
@@ -209,7 +209,7 @@ func (s *Session) Read(obj guid.GUID) ([]byte, error) {
 	} else {
 		v = rep.TentativeState(s.c.pool.K.Now())
 	}
-	data, err := object.NewView(v, key).Read()
+	data, err := object.ViewWith(v, bc).Read()
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +241,7 @@ func (s *Session) ReadVersion(obj guid.GUID) (*object.Version, error) {
 // Editor returns a client-side editor over the session's current view
 // of the object, for composing update actions.
 func (s *Session) Editor(obj guid.GUID) (*object.Editor, *object.Version, error) {
-	key, ok := s.c.Keys.Key(obj)
+	bc, ok := s.c.Keys.Cipher(obj)
 	if !ok {
 		return nil, nil, errors.New("core: read permission denied (no key)")
 	}
@@ -249,7 +249,7 @@ func (s *Session) Editor(obj guid.GUID) (*object.Editor, *object.Version, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	ed, err := object.NewEditor(v, key)
+	ed, err := object.EditorWith(v, bc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -427,7 +427,7 @@ func (s *Session) Search(obj guid.GUID, word string) (bool, error) {
 // active replica (their archival fragments persist; see
 // archive.Service).
 func (s *Session) ReadAt(obj guid.GUID, ref naming.Ref) ([]byte, error) {
-	key, ok := s.c.Keys.Key(obj)
+	bc, ok := s.c.Keys.Cipher(obj)
 	if !ok {
 		return nil, errors.New("core: read permission denied (no key)")
 	}
@@ -447,7 +447,7 @@ func (s *Session) ReadAt(obj guid.GUID, ref naming.Ref) ([]byte, error) {
 	if !ok {
 		return nil, errors.New("core: version not retained (retired or never existed)")
 	}
-	return object.NewView(v, key).Read()
+	return object.ViewWith(v, bc).Read()
 }
 
 // ResolveAndRead resolves a full version-qualified path ("root:/a/b@v2")

@@ -71,12 +71,12 @@ func (f *FS) writeDir(dir guid.GUID, d *naming.Directory) error {
 // overwrite replaces an object's whole logical content atomically:
 // truncate plus re-append, in one update.
 func (f *FS) overwrite(obj guid.GUID, data []byte) error {
-	key, ok := f.sess.c.Keys.Key(obj)
+	bc, ok := f.sess.c.Keys.Cipher(obj)
 	if !ok {
 		return errors.New("fs: no key for object")
 	}
 	// Build append ops against the post-truncate (empty) state.
-	ed, err := object.NewEditor(&object.Version{}, key)
+	ed, err := object.EditorWith(&object.Version{}, bc)
 	if err != nil {
 		return err
 	}

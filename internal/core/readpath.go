@@ -167,7 +167,7 @@ func (s *Session) readCandidates(obj guid.GUID) ([]simnet.NodeID, error) {
 // backoff when replies do not arrive, and gives up at the deadline.
 // cb fires exactly once with the decrypted data or an error.
 func (s *Session) RemoteRead(obj guid.GUID, deadline time.Duration, cb func([]byte, error)) {
-	key, ok := s.c.Keys.Key(obj)
+	bc, ok := s.c.Keys.Cipher(obj)
 	if !ok {
 		cb(nil, errors.New("core: read permission denied (no key)"))
 		return
@@ -183,7 +183,7 @@ func (s *Session) RemoteRead(obj guid.GUID, deadline time.Duration, cb func([]by
 			cb(nil, err)
 			return
 		}
-		data, derr := object.NewView(rep.Version, key).Read()
+		data, derr := object.ViewWith(rep.Version, bc).Read()
 		if derr != nil {
 			cb(nil, derr)
 			return

@@ -7,6 +7,7 @@ import (
 	"oceanstore/internal/acl"
 	"oceanstore/internal/archive"
 	"oceanstore/internal/crypt"
+	"oceanstore/internal/epidemic"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/object"
 	"oceanstore/internal/replica"
@@ -131,6 +132,18 @@ type SoakWorld struct {
 // virtual client.  All clients share the owner's key ring, so any
 // client can read and write any object.
 func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
+	// Retention bounds (DESIGN.md §12): a tentative update either
+	// resolves within the session write timeout or was abandoned; one
+	// timeout plus two gossip periods covers any copy still in flight,
+	// so expiry only ever drops dead weight.  Committed state beyond a
+	// small window survives as applied state; laggards catch up by
+	// checkpoint transfer.  Without these bounds a million-op run keeps
+	// every update alive forever and replays dead tentative entries on
+	// every read — the O(ops²) wall the soak hit.
+	var tentativeExpire time.Duration
+	if cfg.WriteTimeout > 0 {
+		tentativeExpire = cfg.WriteTimeout + 2*cfg.GossipInterval
+	}
 	pc := PoolConfig{
 		Nodes:     cfg.Nodes,
 		Domains:   cfg.Domains,
@@ -142,6 +155,13 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 			Archive:        archive.Config{DataShards: 4, TotalFragments: 8},
 			GossipInterval: cfg.GossipInterval,
 			TreeFanout:     4,
+			Retention: epidemic.Retention{
+				TentativeExpire: tentativeExpire,
+				CommitWindow:    128,
+			},
+			LogCap:       256,
+			HistoryBound: cfg.RetainVersions,
+			DropExecuted: true,
 		},
 		Extent:         cfg.Extent,
 		BaseLatency:    cfg.BaseLatency,

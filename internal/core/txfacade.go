@@ -55,7 +55,7 @@ func (s *Session) Begin(obj guid.GUID) (*Tx, error) {
 // Read returns the object's contents as of the transaction snapshot,
 // with staged writes applied (read-your-own-writes inside the tx).
 func (t *Tx) Read() ([]byte, error) {
-	key, ok := t.sess.c.Keys.Key(t.obj)
+	bc, ok := t.sess.c.Keys.Cipher(t.obj)
 	if !ok {
 		return nil, errors.New("core: no key")
 	}
@@ -65,7 +65,7 @@ func (t *Tx) Read() ([]byte, error) {
 			return nil, err
 		}
 	}
-	return object.NewView(v, key).Read()
+	return object.ViewWith(v, bc).Read()
 }
 
 // Append stages an append of payload.

@@ -47,29 +47,56 @@ func NewBlockKey(r guid.Entropy) BlockKey {
 // plaintext), which is exactly what the paper's compare-block predicate
 // needs — a client can hash the expected ciphertext and a server can
 // compare hashes without any key (§4.4.2).
+//
+// The AES block cipher is expanded once at construction and the CTR
+// keystream is applied with in-struct scratch: key schedules and
+// cipher.NewCTR wrappers were a top allocator in soak profiles, paid
+// again for every block of every write.  The scratch makes a
+// BlockCipher single-goroutine, which every caller already is (each
+// View/Editor owns its cipher inside one simulator).
 type BlockCipher struct {
-	key BlockKey
+	key     BlockKey
+	block   cipher.Block
+	ctr, ks [aes.BlockSize]byte // keystream scratch; see note above
 }
 
-// NewBlockCipher wraps a key.
-func NewBlockCipher(key BlockKey) *BlockCipher { return &BlockCipher{key: key} }
-
-// stream builds the AES-CTR stream for a physical block position.
-func (c *BlockCipher) stream(pos uint64) cipher.Stream {
-	block, err := aes.NewCipher(c.key[:])
+// NewBlockCipher wraps a key, expanding the AES key schedule once.
+func NewBlockCipher(key BlockKey) *BlockCipher {
+	block, err := aes.NewCipher(key[:])
 	if err != nil {
 		panic(fmt.Sprintf("crypt: aes: %v", err)) // 32-byte key; cannot fail
 	}
-	var iv [aes.BlockSize]byte
-	copy(iv[:8], []byte("osblkpos"))
-	binary.BigEndian.PutUint64(iv[8:], pos)
-	return cipher.NewCTR(block, iv[:])
+	return &BlockCipher{key: key, block: block}
+}
+
+// xorKeyStream applies the position-bound AES-CTR keystream —
+// counter blocks E(iv), E(iv+1), ... with the 16-byte counter
+// incremented big-endian, exactly cipher.NewCTR's sequence.
+func (c *BlockCipher) xorKeyStream(pos uint64, dst, src []byte) {
+	copy(c.ctr[:8], "osblkpos")
+	binary.BigEndian.PutUint64(c.ctr[8:], pos)
+	for i := 0; i < len(src); i += aes.BlockSize {
+		c.block.Encrypt(c.ks[:], c.ctr[:])
+		n := len(src) - i
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for j := 0; j < n; j++ {
+			dst[i+j] = src[i+j] ^ c.ks[j]
+		}
+		for k := aes.BlockSize - 1; k >= 0; k-- {
+			c.ctr[k]++
+			if c.ctr[k] != 0 {
+				break
+			}
+		}
+	}
 }
 
 // EncryptBlock encrypts plain as the block at physical position pos.
 func (c *BlockCipher) EncryptBlock(pos uint64, plain []byte) []byte {
 	out := make([]byte, len(plain))
-	c.stream(pos).XORKeyStream(out, plain)
+	c.xorKeyStream(pos, out, plain)
 	return out
 }
 
@@ -134,18 +161,48 @@ const SignatureSize = ed25519.SignatureSize
 // the key distributed to readers.  Revocation re-keys the object; a
 // recently-revoked reader may still read stale cached ciphertext, which
 // the paper accepts as unavoidable.
+//
+// The ring also memoises one BlockCipher per object so a client's
+// reads and writes do not re-expand the AES key schedule every
+// operation (a top allocator at soak rates).  The cache follows the
+// keys: Grant (re-key) and Revoke both drop the cached cipher.
 type KeyRing struct {
-	keys map[guid.GUID]BlockKey
+	keys    map[guid.GUID]BlockKey
+	ciphers map[guid.GUID]*BlockCipher
 }
 
 // NewKeyRing creates an empty ring.
-func NewKeyRing() *KeyRing { return &KeyRing{keys: make(map[guid.GUID]BlockKey)} }
+func NewKeyRing() *KeyRing {
+	return &KeyRing{keys: make(map[guid.GUID]BlockKey), ciphers: make(map[guid.GUID]*BlockCipher)}
+}
 
 // Grant gives this ring the read key for an object.
-func (kr *KeyRing) Grant(obj guid.GUID, key BlockKey) { kr.keys[obj] = key }
+func (kr *KeyRing) Grant(obj guid.GUID, key BlockKey) {
+	kr.keys[obj] = key
+	delete(kr.ciphers, obj) // re-key invalidates the cached cipher
+}
 
 // Revoke removes the key for an object from this ring.
-func (kr *KeyRing) Revoke(obj guid.GUID) { delete(kr.keys, obj) }
+func (kr *KeyRing) Revoke(obj guid.GUID) {
+	delete(kr.keys, obj)
+	delete(kr.ciphers, obj)
+}
+
+// Cipher returns the ring's cached BlockCipher for an object, building
+// it on first use.  The cipher inherits BlockCipher's single-goroutine
+// rule, which holds because a KeyRing belongs to one client.
+func (kr *KeyRing) Cipher(obj guid.GUID) (*BlockCipher, bool) {
+	if bc, ok := kr.ciphers[obj]; ok {
+		return bc, true
+	}
+	key, ok := kr.keys[obj]
+	if !ok {
+		return nil, false
+	}
+	bc := NewBlockCipher(key)
+	kr.ciphers[obj] = bc
+	return bc, true
+}
 
 // Key looks up the read key for an object.
 func (kr *KeyRing) Key(obj guid.GUID) (BlockKey, bool) {

@@ -15,6 +15,7 @@
 package dtree
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -67,6 +68,18 @@ type member struct {
 type pullReq struct {
 	Tree uint64
 }
+
+// treeKey packs a tree ID into a simnet demux key.
+func treeKey(id uint64) simnet.DemuxKey {
+	var k simnet.DemuxKey
+	binary.BigEndian.PutUint64(k[:8], id)
+	return k
+}
+
+// Demux keys for O(1) dispatch: each tree's traffic reaches only its
+// own members' handlers, however many trees share a node.
+func (d Delivery) Demux() simnet.DemuxKey  { return treeKey(d.Tree) }
+func (p pullReq) Demux() simnet.DemuxKey   { return treeKey(p.Tree) }
 
 // treeCounter hands out process-unique tree IDs.  Incremented
 // atomically: concurrent simulations (the seed-sweep drivers) create
@@ -177,9 +190,15 @@ func (t *Tree) attach(id, parent simnet.NodeID) {
 	t.m[id] = &member{id: id, parent: parent, depth: pm.depth + 1}
 }
 
-// hook installs the simnet message handler for a member node.
+// hook installs the simnet message handlers for a member node — one
+// demux entry per wire kind, keyed by this tree.
 func (t *Tree) hook(id simnet.NodeID) {
-	t.net.Node(id).Handle(func(msg simnet.Message) { t.handle(id, msg) })
+	n := t.net.Node(id)
+	key := treeKey(t.id)
+	h := func(msg simnet.Message) { t.handle(id, msg) }
+	for _, k := range [...]string{KindUpdate, KindInvalidate, KindPull, KindPullReply} {
+		n.HandleDemux(k, key, h)
+	}
 }
 
 func (t *Tree) handle(id simnet.NodeID, msg simnet.Message) {

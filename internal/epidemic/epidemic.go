@@ -45,6 +45,14 @@ type Replica struct {
 	// across both logs, used to summarise state for anti-entropy.
 	vv map[guid.GUID]uint64
 
+	// committedBase counts committed updates pruned from the front of
+	// the retained window (see Retention); CommittedLen stays the total.
+	committedBase int
+	// dedupQ remembers committed IDs in arrival order so the dedup maps
+	// can be pruned on the same horizon as the committed window.
+	dedupQ []update.UpdateID
+	ret    Retention
+
 	// cached tentative state; invalidated by any log change.
 	cached     *object.Version
 	cacheValid bool
@@ -56,11 +64,13 @@ type Replica struct {
 
 // epiMetrics holds pre-resolved per-replica observability handles.
 type epiMetrics struct {
-	tentative  *obs.Counter
-	commits    *obs.Counter
-	aborts     *obs.Counter
-	dupCommits *obs.Counter
-	replays    *obs.Counter
+	tentative   *obs.Counter
+	commits     *obs.Counter
+	aborts      *obs.Counter
+	dupCommits  *obs.Counter
+	replays     *obs.Counter
+	expired     *obs.Counter
+	checkpoints *obs.Counter
 }
 
 // Instrument attaches observability counters keyed to the hosting node.
@@ -73,11 +83,13 @@ func (r *Replica) Instrument(reg *obs.Registry, node int) {
 		return
 	}
 	r.om = &epiMetrics{
-		tentative:  reg.Counter(node, "epidemic", "tentative"),
-		commits:    reg.Counter(node, "epidemic", "commits"),
-		aborts:     reg.Counter(node, "epidemic", "aborts"),
-		dupCommits: reg.Counter(node, "epidemic", "dup_commits"),
-		replays:    reg.Counter(node, "epidemic", "replays"),
+		tentative:   reg.Counter(node, "epidemic", "tentative"),
+		commits:     reg.Counter(node, "epidemic", "commits"),
+		aborts:      reg.Counter(node, "epidemic", "aborts"),
+		dupCommits:  reg.Counter(node, "epidemic", "dup_commits"),
+		replays:     reg.Counter(node, "epidemic", "replays"),
+		expired:     reg.Counter(node, "epidemic", "expired"),
+		checkpoints: reg.Counter(node, "epidemic", "checkpoints"),
 	}
 	c, a := r.Log.Counts()
 	r.om.commits.Add(int64(c))
@@ -94,6 +106,20 @@ func New(v0 *object.Version) *Replica {
 		vv:          make(map[guid.GUID]uint64),
 		Log:         update.NewLog(),
 	}
+}
+
+// NewAt creates a replica whose base already incorporates the first
+// `committed` updates of the final order — a checkpoint join.  A
+// secondary added mid-run starts here instead of replaying the whole
+// history; vv0 (may be nil) seeds the version vector from the source.
+func NewAt(v0 *object.Version, committed int, vv0 map[guid.GUID]uint64) *Replica {
+	r := New(v0)
+	r.committedBase = committed
+	r.Log.Rebase(committed)
+	for c, s := range vv0 {
+		r.vv[c] = s
+	}
+	return r
 }
 
 // tsLess orders updates by (timestamp, client, seq) — the deterministic
@@ -157,6 +183,11 @@ func (r *Replica) Commit(u *update.Update, now time.Duration) update.Outcome {
 		}
 	}
 	r.committed = append(r.committed, u)
+	if r.ret.CommitWindow > 0 {
+		r.dedupQ = append(r.dedupQ, u.ID())
+		r.pruneCommitted()
+	}
+	r.expire(now)
 	next, out, err := update.Apply(u, r.base, now)
 	if err == nil && out.Committed {
 		r.base = next
@@ -183,6 +214,7 @@ func (r *Replica) CommittedState() *object.Version { return r.base }
 // in timestamp order — what an optimistic session reads.  The replay is
 // recomputed after any log change (Bayou rollback/replay).
 func (r *Replica) TentativeState(now time.Duration) *object.Version {
+	r.expire(now)
 	if r.cacheValid {
 		return r.cached
 	}
@@ -201,8 +233,8 @@ func (r *Replica) TentativeState(now time.Duration) *object.Version {
 }
 
 // CommittedLen returns the committed log length (the commit sequence
-// number the replica has reached).
-func (r *Replica) CommittedLen() int { return len(r.committed) }
+// number the replica has reached), including any pruned prefix.
+func (r *Replica) CommittedLen() int { return r.committedBase + len(r.committed) }
 
 // TentativeLen returns the number of pending tentative updates.
 func (r *Replica) TentativeLen() int { return len(r.tentative) }
@@ -239,26 +271,37 @@ func (r *Replica) Dominates(other map[guid.GUID]uint64) bool {
 // AntiEntropy performs one bidirectional epidemic exchange between two
 // replicas of the same object: each ships the tentative updates the
 // other lacks, and the shorter committed log is fast-forwarded from the
-// longer one.  It returns how many updates moved in total.
+// longer one — by replay while the gap fits the sender's retained
+// window, by checkpoint transfer once it doesn't.  It returns how many
+// updates moved in total (a checkpoint counts as one move).
 func AntiEntropy(a, b *Replica, now time.Duration) int {
+	a.expire(now)
+	b.expire(now)
 	moved := 0
 	// Committed prefix sync: committed logs are prefixes of one final
 	// order, so the longer one extends the shorter.
-	if len(a.committed) < len(b.committed) {
+	if a.CommittedLen() < b.CommittedLen() {
 		a, b = b, a
 	}
-	for _, u := range a.committed[len(b.committed):] {
-		b.Commit(u, now)
+	if lag := a.CommittedLen() - b.CommittedLen(); lag > len(a.committed) {
+		// b is missing updates a no longer retains: state transfer.
+		b.adoptCheckpoint(a, now)
 		moved++
+	} else if lag > 0 {
+		for _, u := range a.committed[len(a.committed)-lag:] {
+			b.Commit(u, now)
+			moved++
+		}
 	}
-	// Tentative exchange, both directions.
-	for _, u := range a.Tentative() {
+	// Tentative exchange, both directions (iterate in place: AddTentative
+	// on the receiver cannot disturb the sender's slice).
+	for _, u := range a.tentative {
 		if !b.Seen(u.ID()) {
 			b.AddTentative(u)
 			moved++
 		}
 	}
-	for _, u := range b.Tentative() {
+	for _, u := range b.tentative {
 		if !a.Seen(u.ID()) {
 			a.AddTentative(u)
 			moved++

@@ -22,14 +22,17 @@ import (
 // code never mutates committed versions (TamperBase clones first).
 func Clone(src *Replica) *Replica {
 	r := &Replica{
-		base:        src.base,
-		committed:   append([]*update.Update(nil), src.committed...),
-		tentative:   append([]*update.Update(nil), src.tentative...),
-		seen:        make(map[update.UpdateID]bool, len(src.seen)),
-		inCommitted: make(map[update.UpdateID]bool, len(src.inCommitted)),
-		outcomes:    make(map[update.UpdateID]update.Outcome, len(src.outcomes)),
-		vv:          make(map[guid.GUID]uint64, len(src.vv)),
-		Log:         update.NewLog(),
+		base:          src.base,
+		committed:     append([]*update.Update(nil), src.committed...),
+		committedBase: src.committedBase,
+		dedupQ:        append([]update.UpdateID(nil), src.dedupQ...),
+		ret:           src.ret,
+		tentative:     append([]*update.Update(nil), src.tentative...),
+		seen:          make(map[update.UpdateID]bool, len(src.seen)),
+		inCommitted:   make(map[update.UpdateID]bool, len(src.inCommitted)),
+		outcomes:      make(map[update.UpdateID]update.Outcome, len(src.outcomes)),
+		vv:            make(map[guid.GUID]uint64, len(src.vv)),
+		Log:           src.Log.Clone(),
 	}
 	for k, v := range src.seen {
 		r.seen[k] = v
@@ -42,9 +45,6 @@ func Clone(src *Replica) *Replica {
 	}
 	for k, v := range src.vv {
 		r.vv[k] = v
-	}
-	for _, e := range src.Log.Entries() {
-		r.Log.Append(e.Update, e.Outcome, e.At)
 	}
 	return r
 }

@@ -29,16 +29,23 @@ const (
 	parLevelNodes = 2048
 )
 
-// hashLeaf and hashPair are domain-separated so an inner node can never
-// be confused with a leaf (a classic second-preimage hardening).  Both
-// reuse the caller's digest and sum directly into the GUID's backing
-// array, so tree construction allocates nothing per node — archival
-// encoding Merkle-wraps every fragment of every commit, which makes
-// these the second-hottest loop in the archive path after the GF
-// kernels.
+// Domain-separation prefixes: an inner node can never be confused with
+// a leaf (a classic second-preimage hardening).  Package-level vars so
+// the byte slices passed to hash.Hash (an interface, whose arguments
+// escape) are allocated once, not per node.
+var (
+	leafPrefix = []byte{0x00}
+	pairPrefix = []byte{0x01}
+)
+
+// hashLeaf and hashPair reuse the caller's digest and sum directly into
+// the GUID's backing array, so tree construction allocates little per
+// node — archival encoding Merkle-wraps every fragment of every commit,
+// which makes these the second-hottest loop in the archive path after
+// the GF kernels.
 func hashLeaf(h hash.Hash, data []byte) guid.GUID {
 	h.Reset()
-	h.Write([]byte{0x00})
+	h.Write(leafPrefix)
 	h.Write(data)
 	var g guid.GUID
 	h.Sum(g[:0])
@@ -47,7 +54,7 @@ func hashLeaf(h hash.Hash, data []byte) guid.GUID {
 
 func hashPair(h hash.Hash, l, r guid.GUID) guid.GUID {
 	h.Reset()
-	h.Write([]byte{0x01})
+	h.Write(pairPrefix)
 	h.Write(l[:])
 	h.Write(r[:])
 	var g guid.GUID
@@ -107,6 +114,83 @@ func Build(fragments [][]byte) *Tree {
 		level = next
 	}
 	return t
+}
+
+// Hasher computes the same root as Build, one leaf at a time, without
+// materialising the leaf set or the tree.  Callers that only need the
+// root (version GUIDs, integrity spot-checks) feed leaves as they are
+// assembled in a reusable buffer and never hold more than O(log n)
+// intermediate hashes.
+//
+// The incremental rule is the mountain-range form of Build's level-wise
+// collapse: each leaf is pushed at height 0, and adjacent stack entries
+// of equal height merge immediately.  The stack then holds the roots of
+// the maximal complete subtrees over prefix-aligned ranges — heights
+// strictly decreasing left to right — and Root folds them right to left,
+// which is exactly Build's carry-odd-nodes-up-unchanged rule.
+// TestHasherMatchesBuild pins the equivalence across leaf counts.
+//
+// A Hasher is single-goroutine; Root is terminal (call Reset before
+// feeding more leaves).
+type Hasher struct {
+	h       hash.Hash
+	stack   []guid.GUID
+	heights []uint8
+	leaves  int
+}
+
+// NewHasher returns an empty streaming root builder.
+func NewHasher() *Hasher { return &Hasher{h: sha1.New()} }
+
+// Reset discards all pending state so the Hasher can start a new root.
+func (s *Hasher) Reset() {
+	s.stack = s.stack[:0]
+	s.heights = s.heights[:0]
+	s.leaves = 0
+}
+
+// Leaves returns how many leaves have been fed since the last Reset.
+func (s *Hasher) Leaves() int { return s.leaves }
+
+// Leaf feeds the next fragment.  The data is consumed before Leaf
+// returns; the caller may reuse the buffer.
+func (s *Hasher) Leaf(data []byte) {
+	s.stack = append(s.stack, guid.GUID{})
+	s.h.Reset()
+	s.h.Write(leafPrefix)
+	s.h.Write(data)
+	s.h.Sum(s.stack[len(s.stack)-1][:0])
+	s.heights = append(s.heights, 0)
+	s.leaves++
+	for n := len(s.heights); n >= 2 && s.heights[n-1] == s.heights[n-2]; n = len(s.heights) {
+		s.foldTop()
+		s.heights[len(s.heights)-1]++
+	}
+}
+
+// foldTop replaces the top two stack entries with their pair hash.
+func (s *Hasher) foldTop() {
+	i := len(s.stack) - 2
+	s.h.Reset()
+	s.h.Write(pairPrefix)
+	s.h.Write(s.stack[i][:])
+	s.h.Write(s.stack[i+1][:])
+	s.h.Sum(s.stack[i][:0])
+	s.stack = s.stack[:i+1]
+	s.heights = s.heights[:i+1]
+}
+
+// Root collapses the pending subtrees and returns the root Build would
+// produce over the same leaf sequence.  It panics on an empty Hasher,
+// matching Build's no-fragments panic.
+func (s *Hasher) Root() guid.GUID {
+	if s.leaves == 0 {
+		panic("merkle: no fragments")
+	}
+	for len(s.stack) > 1 {
+		s.foldTop()
+	}
+	return s.stack[0]
 }
 
 // Root returns the top-most hash — the GUID of the archival object.

@@ -164,3 +164,51 @@ func TestLeafInnerDomainSeparation(t *testing.T) {
 		t.Fatal("leaf/inner domain separation broken")
 	}
 }
+
+func TestHasherMatchesBuild(t *testing.T) {
+	// The streaming Hasher must produce Build's root bit-for-bit at
+	// every leaf count, including the odd-carry shapes (3, 5, 7, 11...)
+	// where the mountain-range fold has to mimic carrying nodes up
+	// unchanged.
+	r := rand.New(rand.NewSource(8))
+	for n := 1; n <= 65; n++ {
+		frags := fragments(r, n, 24)
+		hs := NewHasher()
+		for _, f := range frags {
+			hs.Leaf(f)
+		}
+		if hs.Leaves() != n {
+			t.Fatalf("n=%d: Leaves() = %d", n, hs.Leaves())
+		}
+		if got, want := hs.Root(), Build(frags).Root(); got != want {
+			t.Fatalf("n=%d: Hasher root diverges from Build", n)
+		}
+		// Root is idempotent once collapsed.
+		if hs.Root() != Build(frags).Root() {
+			t.Fatalf("n=%d: second Root() call diverged", n)
+		}
+	}
+}
+
+func TestHasherReset(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	frags := fragments(r, 5, 16)
+	hs := NewHasher()
+	hs.Leaf([]byte("stale"))
+	hs.Reset()
+	for _, f := range frags {
+		hs.Leaf(f)
+	}
+	if hs.Root() != Build(frags).Root() {
+		t.Fatal("Reset left stale state behind")
+	}
+}
+
+func TestHasherPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Root() on an empty Hasher must panic")
+		}
+	}()
+	NewHasher().Root()
+}

@@ -77,14 +77,20 @@ type Editor struct {
 
 // NewEditor creates an editor over base with the object key.
 func NewEditor(base *Version, key crypt.BlockKey) (*Editor, error) {
-	vw := NewView(base, key)
+	return EditorWith(base, crypt.NewBlockCipher(key))
+}
+
+// EditorWith creates an editor over base reusing an already-built
+// cipher (see ViewWith).
+func EditorWith(base *Version, bc *crypt.BlockCipher) (*Editor, error) {
+	vw := ViewWith(base, bc)
 	logical, err := vw.LogicalBlocks()
 	if err != nil {
 		return nil, err
 	}
 	return &Editor{
 		view:     vw,
-		bc:       crypt.NewBlockCipher(key),
+		bc:       bc,
 		physNext: uint32(len(base.Blocks)),
 		logical:  logical,
 	}, nil

@@ -18,7 +18,16 @@ type History struct {
 	// branches holds conflict branches keyed by the parent version they
 	// diverged from (Lotus Notes-style, §4.4.1).
 	branches map[guid.GUID][]*Version
+	// bound, when >0, prunes the oldest versions inline as new ones
+	// arrive (KeepLast applied continuously) so a hot object's history
+	// cannot balloon between retirement sweeps.  0 = unbounded.
+	bound int
 }
+
+// SetBound installs an inline KeepLast{N: n} bound: Add prunes the
+// oldest versions once the chain exceeds it.  0 restores unbounded
+// growth (already-pruned versions stay gone).
+func (h *History) SetBound(n int) { h.bound = n }
 
 // NewHistory starts a history at the initial version.
 func NewHistory(v0 *Version) *History {
@@ -35,6 +44,19 @@ func (h *History) Add(v *Version) {
 	}
 	h.versions = append(h.versions, v)
 	h.byGUID[v.GUID()] = v
+	// Chunked inline pruning: trigger at 2× the bound, trim back to the
+	// bound, so the copy cost is amortised O(1) per Add.
+	if h.bound > 0 && len(h.versions) >= 2*h.bound {
+		drop := len(h.versions) - h.bound
+		for _, old := range h.versions[:drop] {
+			delete(h.byGUID, old.GUID())
+		}
+		n := copy(h.versions, h.versions[drop:])
+		for i := n; i < len(h.versions); i++ {
+			h.versions[i] = nil
+		}
+		h.versions = h.versions[:n]
+	}
 }
 
 // Latest returns the newest version.

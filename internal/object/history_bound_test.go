@@ -1,0 +1,48 @@
+package object
+
+import "testing"
+
+func TestHistoryBoundPrunes(t *testing.T) {
+	k := key(31)
+	v0 := NewObject([]byte("base"), 8, k)
+	h := NewHistory(v0)
+	h.SetBound(4)
+	const total = 16
+	v := v0
+	for i := 1; i <= total; i++ {
+		v = v.Clone(0)
+		h.Add(v)
+	}
+	if h.Len() >= 2*4 {
+		t.Fatalf("retained %d versions, bound 4 never pruned", h.Len())
+	}
+	if h.Latest().Num != v0.Num+total {
+		t.Fatalf("latest %d, want %d", h.Latest().Num, v0.Num+total)
+	}
+	vs := h.Versions()
+	if len(vs) != h.Len() || vs[len(vs)-1] != h.Latest() {
+		t.Fatal("Versions() disagrees with the retained chain")
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Num <= vs[i-1].Num {
+			t.Fatal("Versions() out of order")
+		}
+	}
+	// Pruned versions are gone from the GUID index too.
+	if _, ok := h.ByNum(v0.Num); ok {
+		t.Fatal("pruned version still reachable by number")
+	}
+	if _, ok := h.ByGUID(v0.GUID()); ok {
+		t.Fatal("pruned version still reachable by GUID")
+	}
+}
+
+func TestInvalidateGUIDRecomputes(t *testing.T) {
+	k := key(32)
+	v := NewObject([]byte("stable contents"), 8, k)
+	g1 := v.GUID()
+	v.InvalidateGUID()
+	if g2 := v.GUID(); g2 != g1 {
+		t.Fatalf("recomputed GUID %v differs from %v", g2, g1)
+	}
+}

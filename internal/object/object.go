@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"oceanstore/internal/crypt"
@@ -141,6 +142,20 @@ type Version struct {
 	guidSet  bool
 }
 
+// versionHasher bundles a streaming Merkle root builder with a
+// reusable leaf-assembly buffer.  Version GUIDs are recomputed on every
+// commit of every object, and materialising the leaf set (one slice
+// per block, copied) was a top allocator in soak profiles; the pool
+// makes a GUID computation cost O(log blocks) transient state.  The
+// GUID is a pure function of the version, so pooling cannot perturb
+// deterministic runs.
+type versionHasher struct {
+	hs  *merkle.Hasher
+	buf []byte
+}
+
+var vhPool = sync.Pool{New: func() any { return &versionHasher{hs: merkle.NewHasher()} }}
+
 // GUID returns the version's self-verifying identity: the Merkle root
 // over its ciphertext blocks mixed with its metadata.  Any change to
 // any block or to the structure changes the GUID.
@@ -148,27 +163,40 @@ func (v *Version) GUID() guid.GUID {
 	if v.guidSet {
 		return v.guidMemo
 	}
-	leaves := make([][]byte, 0, len(v.Blocks)+1)
-	meta := make([]byte, 8+8+4*len(v.Top)+guid.Size)
-	binary.BigEndian.PutUint64(meta, v.Num)
-	binary.BigEndian.PutUint64(meta[8:], uint64(v.Size))
-	for i, tp := range v.Top {
-		binary.BigEndian.PutUint32(meta[16+4*i:], tp)
+	p := vhPool.Get().(*versionHasher)
+	hs := p.hs
+	hs.Reset()
+	// Leaf 0: the structural metadata.
+	buf := p.buf[:0]
+	buf = binary.BigEndian.AppendUint64(buf, v.Num)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(v.Size))
+	for _, tp := range v.Top {
+		buf = binary.BigEndian.AppendUint32(buf, tp)
 	}
-	copy(meta[16+4*len(v.Top):], v.Prev[:])
-	leaves = append(leaves, meta)
+	buf = append(buf, v.Prev[:]...)
+	hs.Leaf(buf)
+	// One leaf per block: tag || ciphertext, assembled in place.
 	for _, b := range v.Blocks {
-		leaf := make([]byte, 8+len(b.CT))
-		binary.BigEndian.PutUint64(leaf, b.Tag)
-		copy(leaf[8:], b.CT)
-		leaves = append(leaves, leaf)
+		buf = buf[:0]
+		buf = binary.BigEndian.AppendUint64(buf, b.Tag)
+		buf = append(buf, b.CT...)
+		hs.Leaf(buf)
 	}
 	if v.Index != nil {
-		leaves = append(leaves, v.Index.Cells...)
+		for _, cell := range v.Index.Cells {
+			hs.Leaf(cell)
+		}
 	}
-	v.guidMemo, v.guidSet = merkle.Build(leaves).Root(), true
+	p.buf = buf
+	v.guidMemo, v.guidSet = hs.Root(), true
+	vhPool.Put(p)
 	return v.guidMemo
 }
+
+// InvalidateGUID drops the memoised root so the next GUID call
+// recomputes it.  For harnesses that mutate a version in place (tamper
+// scenarios, benchmarks); production mutators drop the memo themselves.
+func (v *Version) InvalidateGUID() { v.guidSet = false }
 
 // Clone makes a copy-on-write successor: block contents are shared,
 // the slices are fresh, and the version number advances.
@@ -242,6 +270,13 @@ type View struct {
 // NewView wraps a version with the object's block key.
 func NewView(v *Version, key crypt.BlockKey) *View {
 	return &View{v: v, bc: crypt.NewBlockCipher(key)}
+}
+
+// ViewWith wraps a version with an already-built cipher, so callers
+// holding a per-object cipher (crypt.KeyRing.Cipher) skip the AES key
+// expansion NewView pays on every call.
+func ViewWith(v *Version, bc *crypt.BlockCipher) *View {
+	return &View{v: v, bc: bc}
 }
 
 // Read returns the full logical plaintext of the version, expanding

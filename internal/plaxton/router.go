@@ -52,6 +52,12 @@ func DefaultRouterConfig() RouterConfig {
 // hop exhausts its attempt budget.
 var ErrRouteTimeout = errors.New("plaxton: route timed out")
 
+// hopMsg rides the wire as a *pointer* payload: hops dominate message
+// volume, and a pointer in an interface avoids the per-send boxing
+// allocation a value payload pays.  Messages are pooled — onHop
+// reclaims each one after reading its fields (stale or not), and the
+// few lost to drops are simply collected and replaced by fresh
+// allocations.  A hopMsg is immutable from Send to delivery.
 type hopMsg struct {
 	RID uint64
 	Gen uint64
@@ -103,6 +109,8 @@ type Router struct {
 	nextID uint64
 	routes map[uint64]*routeState
 	hooked map[int]bool
+
+	hopFree []*hopMsg // reclaimed hop payloads; see hopMsg
 
 	om  *routerMetrics
 	otr *obs.Tracer
@@ -159,8 +167,10 @@ func (r *Router) hook(idx int) {
 		if m.Kind != KindHop {
 			return
 		}
-		if h, ok := m.Payload.(hopMsg); ok {
-			r.onHop(idx, h)
+		if h, ok := m.Payload.(*hopMsg); ok {
+			rid, gen := h.RID, h.Gen
+			r.putHop(h)
+			r.onHop(idx, rid, gen)
 		}
 	})
 }
@@ -334,7 +344,7 @@ func (r *Router) attempt(rid uint64, st *routeState) {
 	st.gen++
 	gen := st.gen
 	r.hook(next)
-	r.net.Send(simnet.NodeID(st.cur), simnet.NodeID(next), KindHop, hopMsg{RID: rid, Gen: gen}, hopWire)
+	r.net.Send(simnet.NodeID(st.cur), simnet.NodeID(next), KindHop, r.getHop(rid, gen), hopWire)
 
 	// Exponential backoff, capped: 1x, 2x, 4x ... of HopTimeout.
 	timeout := r.cfg.HopTimeout << uint(st.attempt)
@@ -350,11 +360,25 @@ func (r *Router) attempt(rid uint64, st *routeState) {
 	})
 }
 
+// getHop takes a hop payload from the pool (or allocates one).
+func (r *Router) getHop(rid, gen uint64) *hopMsg {
+	if k := len(r.hopFree); k > 0 {
+		h := r.hopFree[k-1]
+		r.hopFree = r.hopFree[:k-1]
+		h.RID, h.Gen = rid, gen
+		return h
+	}
+	return &hopMsg{RID: rid, Gen: gen}
+}
+
+// putHop reclaims a delivered hop payload.
+func (r *Router) putHop(h *hopMsg) { r.hopFree = append(r.hopFree, h) }
+
 // onHop runs when a hop message lands on a live node: the route
 // advances there.
-func (r *Router) onHop(at int, h hopMsg) {
-	st, ok := r.routes[h.RID]
-	if !ok || st.done || st.gen != h.Gen {
+func (r *Router) onHop(at int, rid, gen uint64) {
+	st, ok := r.routes[rid]
+	if !ok || st.done || st.gen != gen {
 		return // stale attempt or finished route
 	}
 	st.gen++ // invalidate the pending retry timer
@@ -362,7 +386,7 @@ func (r *Router) onHop(at int, h hopMsg) {
 	st.cur = at
 	st.path = append(st.path, at)
 	st.level++
-	r.arrive(h.RID, st)
+	r.arrive(rid, st)
 }
 
 // complete ends a route successfully.  holder >= 0 carries a locate

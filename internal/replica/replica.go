@@ -37,6 +37,16 @@ const (
 	kindGossip    = "replica-gossip"
 )
 
+// tentMsg carries a Fig-5a tentative copy, naming its object so simnet
+// can demux it straight to the right ring's handler.
+type tentMsg struct {
+	Obj guid.GUID
+	U   *update.Update
+}
+
+func (m tentMsg) Demux() simnet.DemuxKey   { return simnet.DemuxKey(m.Obj) }
+func (q gossipReq) Demux() simnet.DemuxKey { return simnet.DemuxKey(q.Object) }
+
 // Config tunes a ring.
 type Config struct {
 	// Faults is f; the primary tier has 3f+1 members.
@@ -50,6 +60,22 @@ type Config struct {
 	GossipInterval time.Duration
 	// TreeFanout bounds the dissemination tree.
 	TreeFanout int
+
+	// Retention bounds every replica's resident epidemic state (zero
+	// value = unbounded, the exact historical semantics).  Soak worlds
+	// turn it on so heap stays proportional to in-flight work; peers
+	// that lag past the committed window catch up by checkpoint
+	// transfer instead of log replay.
+	Retention epidemic.Retention
+	// LogCap caps each replica's retained update-log window (0 =
+	// unbounded).  Running commit/abort tallies survive eviction.
+	LogCap int
+	// HistoryBound inline-caps the retained version history between
+	// retirement sweeps (0 = unbounded).
+	HistoryBound int
+	// DropExecuted stops the Byzantine tier from accumulating its full
+	// executed-digest history (a debugging aid, unbounded by nature).
+	DropExecuted bool
 }
 
 // DefaultConfig matches the paper's running examples: f=1 (n=4
@@ -165,6 +191,12 @@ func NewRing(net *simnet.Network, primaryNodes []simnet.NodeID, v0 *object.Versi
 		history:      object.NewHistory(v0),
 		waiters:      make(map[update.UpdateID][]func(update.Outcome)),
 	}
+	r.primaryState.SetRetention(cfg.Retention)
+	r.primaryState.Log.SetCap(cfg.LogCap)
+	r.history.SetBound(cfg.HistoryBound)
+	if cfg.DropExecuted {
+		g.SetRetainExecuted(false)
+	}
 	// The dissemination tree is rooted at the first primary.
 	r.tree = dtree.New(net, primaryNodes[0], cfg.TreeFanout)
 	r.tree.OnDeliver(r.onTreeDeliver)
@@ -224,27 +256,41 @@ func (r *Ring) AddSecondary(node simnet.NodeID) (*Secondary, error) {
 	if err := r.tree.Join(node); err != nil {
 		return nil, err
 	}
-	sec := &Secondary{Node: node, Rep: epidemic.New(r.primaryState.CommittedState())}
+	var rep *epidemic.Replica
+	if r.cfg.Retention != (epidemic.Retention{}) {
+		// Checkpoint join: start at the primary's committed state instead
+		// of replaying the whole history (which may be pruned anyway).
+		rep = epidemic.NewAt(r.primaryState.CommittedState(),
+			r.primaryState.CommittedLen(), r.primaryState.VersionVector())
+	} else {
+		rep = epidemic.New(r.primaryState.CommittedState())
+	}
+	rep.SetRetention(r.cfg.Retention)
+	rep.Log.SetCap(r.cfg.LogCap)
+	sec := &Secondary{Node: node, Rep: rep}
 	if r.obsReg != nil {
 		sec.Rep.Instrument(r.obsReg, int(node))
 	}
-	// Catch up with already-committed history.
-	for _, e := range r.primaryState.Log.Entries() {
-		sec.Rep.Commit(e.Update, r.net.K.Now())
+	if r.cfg.Retention == (epidemic.Retention{}) {
+		// Catch up with already-committed history.
+		for _, e := range r.primaryState.Log.Entries() {
+			sec.Rep.Commit(e.Update, r.net.K.Now())
+		}
 	}
 	r.secondaries[node] = sec
 	// Accept tentative copies of this object's updates (Fig 5a) and
-	// anti-entropy exchange requests.
-	r.net.Node(node).Handle(func(m simnet.Message) {
-		switch m.Kind {
-		case kindTentative:
-			if u, ok := m.Payload.(*update.Update); ok && u.Object == r.Object {
-				r.HandleTentative(node, u)
-			}
-		case kindGossip:
-			if req, ok := m.Payload.(gossipReq); ok && req.Object == r.Object {
-				r.handleGossip(node, req)
-			}
+	// anti-entropy exchange requests; demuxed by object, so a node
+	// serving many rings only runs this ring's handler for its traffic.
+	key := simnet.DemuxKey(r.Object)
+	n := r.net.Node(node)
+	n.HandleDemux(kindTentative, key, func(m simnet.Message) {
+		if t, ok := m.Payload.(tentMsg); ok && t.Obj == r.Object {
+			r.HandleTentative(node, t.U)
+		}
+	})
+	n.HandleDemux(kindGossip, key, func(m simnet.Message) {
+		if req, ok := m.Payload.(gossipReq); ok && req.Object == r.Object {
+			r.handleGossip(node, req)
 		}
 	})
 	return sec, nil
@@ -303,7 +349,7 @@ func (r *Ring) Submit(client simnet.NodeID, u *update.Update, spread int, onResu
 			spread = len(nodes)
 		}
 		for _, i := range perm[:spread] {
-			r.net.Send(client, nodes[i], kindTentative, u, u.WireSize())
+			r.net.Send(client, nodes[i], kindTentative, tentMsg{Obj: r.Object, U: u}, u.WireSize())
 		}
 	}
 }
@@ -404,21 +450,40 @@ func (r *Ring) onTreeDeliver(node simnet.NodeID, d dtree.Delivery) {
 	}
 }
 
+// pullPayload is what a parent ships to a pulling child: the retained
+// committed-log window starting at global position Start, plus — when
+// the window no longer reaches back to position 0 — a checkpoint the
+// child can adopt if it lags past the window.
+type pullPayload struct {
+	Start   int
+	Entries []update.LogEntry
+	// Checkpoint (set when Start > 0): committed state after Len
+	// serialised updates, with its version vector.
+	Base *object.Version
+	Len  int
+	VV   map[guid.GUID]uint64
+}
+
 // onTreePull serves a child's pull: ship the parent's committed log so
 // the child can fast-forward (the paper's "pull missing information
 // from parents").
 func (r *Ring) onTreePull(parent simnet.NodeID) (any, int) {
-	var entries []update.LogEntry
+	src := r.primaryState
 	if sec, ok := r.secondaries[parent]; ok {
-		entries = sec.Rep.Log.Entries()
-	} else {
-		entries = r.primaryState.Log.Entries()
+		src = sec.Rep
 	}
+	p := pullPayload{Start: src.Log.Start(), Entries: src.Log.Entries()}
 	size := 64
-	for _, e := range entries {
+	for _, e := range p.Entries {
 		size += e.Update.WireSize()
 	}
-	return entries, size
+	if p.Start > 0 {
+		p.Base = src.CommittedState()
+		p.Len = src.CommittedLen()
+		p.VV = src.VersionVector()
+		size += 64 + len(p.VV)*28
+	}
+	return p, size
 }
 
 // Refresh pulls a stale secondary up to date; cb fires when done.
@@ -428,9 +493,15 @@ func (r *Ring) Refresh(node simnet.NodeID, cb func()) error {
 		return errors.New("replica: not a secondary")
 	}
 	return r.tree.Pull(node, func(d dtree.Delivery) {
-		if entries, ok := d.Payload.([]update.LogEntry); ok {
-			for _, e := range entries[min(sec.Rep.CommittedLen(), len(entries)):] {
-				sec.Rep.Commit(e.Update, r.net.K.Now())
+		if p, ok := d.Payload.(pullPayload); ok {
+			if have := sec.Rep.CommittedLen(); have < p.Start {
+				// The parent evicted entries this replica never saw:
+				// state transfer instead of replay.
+				sec.Rep.AdoptCheckpoint(p.Base, p.Len, p.VV)
+			} else if from := have - p.Start; from < len(p.Entries) {
+				for _, e := range p.Entries[from:] {
+					sec.Rep.Commit(e.Update, r.net.K.Now())
+				}
 			}
 			sec.Stale = false
 		}

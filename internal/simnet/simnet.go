@@ -69,6 +69,24 @@ type Message struct {
 // Handler consumes messages delivered to a node.
 type Handler func(Message)
 
+// DemuxKey names the protocol instance (object ring, tree, tier) a
+// message belongs to — GUID-sized; layers with smaller IDs pack them.
+type DemuxKey [20]byte
+
+// Demuxed is implemented by payloads that can name their protocol
+// instance.  Deliver uses it to dispatch straight to the handlers
+// registered for (kind, key) instead of running the node's whole
+// handler chain: a node serving thousands of object rings then pays
+// one map probe per delivery, not thousands of type-assert-and-ignore
+// handler calls.
+type Demuxed interface{ Demux() DemuxKey }
+
+// demuxEntry keys a node's demux table.
+type demuxEntry struct {
+	kind string
+	key  DemuxKey
+}
+
 // GlobalHandler consumes messages delivered to any node.  Services
 // that attend every server (the archival store) register one of these
 // instead of closing a per-node handler over each of a million IDs.
@@ -119,6 +137,20 @@ func (n Node) SetDomain(d int) { n.net.domains[n.ID] = int32(d) }
 // type.
 func (n Node) Handle(h Handler) {
 	n.net.handlers[n.ID] = append(n.net.handlers[n.ID], h)
+}
+
+// HandleDemux registers h for messages of the given kind whose payload
+// implements Demuxed with this key.  Unlike Handle, dispatch is an
+// O(1) table probe; handlers for other instances on the same node are
+// never invoked.  Demux handlers run before the node's Handle chain.
+func (n Node) HandleDemux(kind string, key DemuxKey, h Handler) {
+	dm := n.net.demux[n.ID]
+	if dm == nil {
+		dm = make(map[demuxEntry][]Handler)
+		n.net.demux[n.ID] = dm
+	}
+	e := demuxEntry{kind: kind, key: key}
+	dm[e] = append(dm[e], h)
 }
 
 // Config sets the link model of a Network.
@@ -216,6 +248,10 @@ type Network struct {
 	down     []bool
 	lowbw    []bool
 	handlers [][]Handler
+	// demux holds per-node (kind, instance-key) handler tables for the
+	// O(1) dispatch path (HandleDemux); nil for nodes that only use the
+	// plain handler chain.
+	demux []map[demuxEntry][]Handler
 
 	// global handlers fire for every delivered message, before the
 	// per-node handlers.
@@ -247,6 +283,10 @@ type Network struct {
 	batches   map[time.Duration]*msgBatch
 	batchFree []*msgBatch
 
+	// envFree pools the envelopes the unbatched delivery path posts to
+	// the kernel, so steady-state sends allocate nothing (see envelope).
+	envFree []*envelope
+
 	// Observability (Instrument): om holds pre-resolved metric handles,
 	// otr the opt-in trace ring.  Both nil in uninstrumented runs, so
 	// the send path pays two nil checks.
@@ -273,6 +313,26 @@ type netMetrics struct {
 	// 100k map headers.
 	links       []map[uint64]*linkMetrics
 	kindRetries map[string]*obs.Counter
+	// linkNames interns the per-destination metric names ("link_n7_bytes"),
+	// which depend only on the destination: with per-link cardinality the
+	// same strings would otherwise be re-formatted for every (from, to)
+	// pair that shares a destination.
+	linkNames map[NodeID]linkNamePair
+}
+
+type linkNamePair struct{ bytes, drops string }
+
+// linkName returns the interned metric-name pair for a destination.
+func (m *netMetrics) linkName(to NodeID) linkNamePair {
+	if p, ok := m.linkNames[to]; ok {
+		return p
+	}
+	p := linkNamePair{
+		bytes: fmt.Sprintf("link_n%d_bytes", to),
+		drops: fmt.Sprintf("link_n%d_drops", to),
+	}
+	m.linkNames[to] = p
+	return p
 }
 
 type linkMetrics struct {
@@ -299,9 +359,10 @@ func (n *Network) link(from, to NodeID) *linkMetrics {
 	key := linkKey(from, to)
 	lm, ok := tbl[key]
 	if !ok {
+		names := m.linkName(to)
 		lm = &linkMetrics{
-			bytes: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_bytes", to)),
-			drops: m.reg.Counter(int(from), "simnet", fmt.Sprintf("link_n%d_drops", to)),
+			bytes: m.reg.Counter(int(from), "simnet", names.bytes),
+			drops: m.reg.Counter(int(from), "simnet", names.drops),
 		}
 		tbl[key] = lm
 	}
@@ -333,6 +394,7 @@ func (n *Network) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		retries:       reg.Counter(obs.NodeWide, "simnet", "retries"),
 		links:         make([]map[uint64]*linkMetrics, n.shards),
 		kindRetries:   make(map[string]*obs.Counter),
+		linkNames:     make(map[NodeID]linkNamePair),
 	}
 }
 
@@ -389,6 +451,7 @@ func (n *Network) AddNode(x, y float64) Node {
 	n.down = append(n.down, false)
 	n.lowbw = append(n.lowbw, false)
 	n.handlers = append(n.handlers, nil)
+	n.demux = append(n.demux, nil)
 	n.partition = append(n.partition, 0)
 	if n.byAddr != nil {
 		n.byAddr[addr] = id
@@ -674,12 +737,85 @@ func (n *Network) Send(from, to NodeID, kind string, payload any, size int) {
 		n.enqueueBatched(msg, lat)
 		return
 	}
-	n.K.Post(n.shardOf(from), n.shardOf(to), n.K.Now()+lat, func() { n.Deliver(msg) })
+	e := n.getEnv()
+	e.m = msg
+	e.postGen = e.gen
+	n.K.Post(n.shardOf(from), n.shardOf(to), n.K.Now()+lat, e.deliver)
 }
 
-// msgBatch collects the messages due at one virtual tick.
+// envelope carries one in-flight message on the unbatched delivery
+// path.  Posting a plain closure would heap-allocate the closure and
+// its captured Message on every send; instead each envelope owns a
+// single `deliver` closure built once, and drained envelopes park on
+// the network's free list.  Steady-state unbatched delivery therefore
+// allocates nothing per message.
+//
+// Ownership rule: the envelope — and any pooled buffer handed to the
+// network — belongs to the network again the moment delivery begins.
+// Handlers receive the Message BY VALUE and may retain Payload (the
+// protocol layers treat payload structs as immutable once sent), but
+// must never hold a reference to the envelope itself; nothing in the
+// public API exposes one, which is what makes the recycling safe.
+//
+// gen counts reuses.  postGen records the generation at post time, so
+// delivery can detect the one corruption this pooling could introduce
+// — an envelope whose kernel event fires after the envelope was
+// recycled (a double-post or a stray retained reference).  The check
+// is a single compare; PoolDebug additionally poisons recycled
+// envelopes so a stale read is loud rather than silently plausible.
+type envelope struct {
+	net     *Network
+	m       Message
+	gen     uint32
+	postGen uint32
+	deliver func()
+}
+
+// PoolDebug enables pooled-envelope poisoning: recycled envelopes get
+// an obviously-invalid Message, so use-after-recycle surfaces as a
+// panic at the point of misuse instead of a corrupted delivery.  Tests
+// flip it; production runs keep the cheap generation check only.
+var PoolDebug = false
+
+func (e *envelope) run() {
+	if e.postGen != e.gen {
+		panic(fmt.Sprintf("simnet: envelope delivered after recycle (gen %d, posted %d)", e.gen, e.postGen))
+	}
+	m := e.m
+	// Recycle before delivery: m is already copied out, and a handler
+	// that sends again may then reuse this envelope immediately.
+	e.net.putEnv(e)
+	e.net.Deliver(m)
+}
+
+func (n *Network) getEnv() *envelope {
+	if len(n.envFree) > 0 {
+		e := n.envFree[len(n.envFree)-1]
+		n.envFree = n.envFree[:len(n.envFree)-1]
+		return e
+	}
+	e := &envelope{net: n}
+	e.deliver = e.run
+	return e
+}
+
+func (n *Network) putEnv(e *envelope) {
+	e.gen++
+	e.m = Message{}
+	if PoolDebug {
+		e.m = Message{From: None, To: None, Kind: "poisoned-envelope"}
+	}
+	n.envFree = append(n.envFree, e)
+}
+
+// msgBatch collects the messages due at one virtual tick.  Each batch
+// carries its own flush closure, built once per batch object: reused
+// batches re-arm by mutating due, so a steady-state tick posts zero
+// closures.
 type msgBatch struct {
-	msgs []Message
+	msgs  []Message
+	due   time.Duration
+	flush func()
 }
 
 // enqueueBatched appends the message to the batch for its delivery
@@ -695,8 +831,9 @@ func (n *Network) enqueueBatched(m Message, lat time.Duration) {
 	b, ok := n.batches[due]
 	if !ok {
 		b = n.getBatch()
+		b.due = due
 		n.batches[due] = b
-		n.K.At(due, func() { n.flushBatch(due) })
+		n.K.At(due, b.flush)
 	}
 	b.msgs = append(b.msgs, m)
 }
@@ -727,7 +864,9 @@ func (n *Network) getBatch() *msgBatch {
 		n.batchFree = n.batchFree[:len(n.batchFree)-1]
 		return b
 	}
-	return &msgBatch{}
+	b := &msgBatch{}
+	b.flush = func() { n.flushBatch(b.due) }
+	return b
 }
 
 func (n *Network) putBatch(b *msgBatch) {
@@ -752,7 +891,8 @@ func (n *Network) Deliver(m Message) bool {
 		return false
 	}
 	hs := n.handlers[m.To]
-	if len(hs) == 0 && len(n.global) == 0 {
+	dm := n.demux[m.To]
+	if len(hs) == 0 && len(n.global) == 0 && len(dm) == 0 {
 		n.stats.MessagesDropped++
 		n.stats.DroppedNoHandler++
 		n.emit("drop-nohandler", m)
@@ -762,6 +902,13 @@ func (n *Network) Deliver(m Message) bool {
 	n.emit("deliver", m)
 	for _, g := range n.global {
 		g(m.To, m)
+	}
+	if len(dm) > 0 {
+		if d, ok := m.Payload.(Demuxed); ok {
+			for _, h := range dm[demuxEntry{kind: m.Kind, key: d.Demux()}] {
+				h(m)
+			}
+		}
 	}
 	for _, h := range hs {
 		h(m)

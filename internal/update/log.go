@@ -17,13 +17,59 @@ type LogEntry struct {
 
 // Log is an append-only per-object update log.  Powerful clients can
 // replay it to regenerate and re-encrypt an object in whole (§4.4.2).
+// A capped log (SetCap) retains only a suffix window of entries plus
+// running commit/abort tallies; Start reports how many entries were
+// evicted from the front.
 type Log struct {
 	entries []LogEntry
 	byID    map[UpdateID]int
+	start   int // entries evicted from the front (capped logs)
+	cap     int // 0 = unbounded
+	// running tallies survive eviction.
+	commits, aborts int
 }
 
 // NewLog creates an empty log.
 func NewLog() *Log { return &Log{byID: make(map[UpdateID]int)} }
+
+// SetCap bounds the retained entry window.  0 restores unbounded
+// retention (already-evicted entries stay gone).
+func (l *Log) SetCap(n int) { l.cap = n }
+
+// Start reports how many entries have been evicted from the front: the
+// retained window covers log positions [Start, Start+len(Entries)).
+func (l *Log) Start() int { return l.start }
+
+// Rebase clears the retained window and restarts the log at position
+// start — a checkpoint transfer: entries before start exist only as
+// applied state elsewhere.  Running tallies are kept.
+func (l *Log) Rebase(start int) {
+	for i := range l.entries {
+		l.entries[i] = LogEntry{}
+	}
+	l.entries = l.entries[:0]
+	for id := range l.byID {
+		delete(l.byID, id)
+	}
+	l.start = start
+}
+
+// Clone returns an independent copy: retained window, position, cap,
+// and running tallies.
+func (l *Log) Clone() *Log {
+	c := &Log{
+		entries: append([]LogEntry(nil), l.entries...),
+		byID:    make(map[UpdateID]int, len(l.byID)),
+		start:   l.start,
+		cap:     l.cap,
+		commits: l.commits,
+		aborts:  l.aborts,
+	}
+	for k, v := range l.byID {
+		c.byID[k] = v
+	}
+	return c
+}
 
 // Append records an update outcome.  Duplicate update IDs are ignored
 // (epidemic propagation redelivers), keeping the log idempotent.
@@ -31,8 +77,25 @@ func (l *Log) Append(u *Update, o Outcome, at time.Duration) bool {
 	if _, dup := l.byID[u.ID()]; dup {
 		return false
 	}
-	l.byID[u.ID()] = len(l.entries)
+	l.byID[u.ID()] = l.start + len(l.entries)
 	l.entries = append(l.entries, LogEntry{Update: u, Outcome: o, At: at})
+	if o.Committed {
+		l.commits++
+	} else {
+		l.aborts++
+	}
+	if l.cap > 0 && len(l.entries) >= 2*l.cap {
+		drop := len(l.entries) - l.cap
+		for _, e := range l.entries[:drop] {
+			delete(l.byID, e.Update.ID())
+		}
+		n := copy(l.entries, l.entries[drop:])
+		for i := n; i < len(l.entries); i++ {
+			l.entries[i] = LogEntry{}
+		}
+		l.entries = l.entries[:n]
+		l.start += drop
+	}
 	return true
 }
 
@@ -42,10 +105,11 @@ func (l *Log) Seen(id UpdateID) bool {
 	return ok
 }
 
-// Len returns the number of entries.
-func (l *Log) Len() int { return len(l.entries) }
+// Len returns the number of entries ever appended (including evicted).
+func (l *Log) Len() int { return l.start + len(l.entries) }
 
-// Entries returns a copy of the log in order.
+// Entries returns a copy of the retained window in order (the full log
+// when uncapped).
 func (l *Log) Entries() []LogEntry {
 	return append([]LogEntry(nil), l.entries...)
 }
@@ -64,17 +128,9 @@ func (l *Log) Commits() []LogEntry {
 }
 
 // Counts tallies committed and aborted entries — the split the
-// observability layer reports per replica.
-func (l *Log) Counts() (commits, aborts int) {
-	for _, e := range l.entries {
-		if e.Outcome.Committed {
-			commits++
-		} else {
-			aborts++
-		}
-	}
-	return commits, aborts
-}
+// observability layer reports per replica.  Running tallies, so
+// evicted entries stay counted.
+func (l *Log) Counts() (commits, aborts int) { return l.commits, l.aborts }
 
 // ---- Convenience constructors for common update shapes ----
 
