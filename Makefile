@@ -8,9 +8,9 @@ PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
 	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/ \
 	./internal/sim/ ./internal/simnet/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 bench-mem bench-json-pr8 cover cover-write soak-smoke scenarios-smoke
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 bench-mem bench-json-pr8 cover cover-write soak-smoke scenarios-smoke blobstore-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke bench-gate-pr7 bench-mem
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke blobstore-smoke bench-gate-pr7 bench-mem
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,30 @@ soak-smoke:
 		echo "soak-smoke: peak RSS $$rss MB exceeds budget $(SOAK_RSS_BUDGET_MB) MB"; exit 1; fi; \
 	rm -rf $$tmp; \
 	echo "soak-smoke: 100k nodes byte-identical at GOMAXPROCS 1 and 4 and at shards 1 vs default; peak RSS $$rss MB within $(SOAK_RSS_BUDGET_MB) MB"
+
+# Real-I/O gate for the blobstore backend (PR 9): a disk-backed
+# 1k-node soak with the scrub/repair scheduler on, volumes in a temp
+# dir.  The run must be byte-identical (metrics and summary) at
+# GOMAXPROCS 1 and 4, and — the apples-to-apples guarantee behind the
+# memory-vs-disk ablation — identical to the same soak on the
+# in-memory backend.  Real I/O may change wall-clock, never the
+# trajectory.
+blobstore-smoke:
+	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
+	tmp=$$(mktemp -d); \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt soak 1 -nodes 1000 -ops 100000 -backend disk -storedir $$tmp/vols1 > $$tmp/out1.txt 2> $$tmp/err1.txt || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt soak 1 -nodes 1000 -ops 100000 -backend disk -storedir $$tmp/vols4 > $$tmp/out4.txt 2> /dev/null || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/mm.txt soak 1 -nodes 1000 -ops 100000 -backend mem > $$tmp/outm.txt 2> /dev/null || exit 1; \
+	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "blobstore-smoke: disk metrics differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "blobstore-smoke: disk summaries differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/m1.txt $$tmp/mm.txt; then echo "blobstore-smoke: metrics differ between mem and disk backends"; exit 1; fi; \
+	if ! cmp -s $$tmp/out1.txt $$tmp/outm.txt; then echo "blobstore-smoke: summaries differ between mem and disk backends"; exit 1; fi; \
+	if ! grep -q '^archival maintenance: scrubbed' $$tmp/out1.txt; then \
+		echo "blobstore-smoke: no scrub/repair line in the report"; cat $$tmp/out1.txt; exit 1; fi; \
+	if ! grep -q '^blobstore: ' $$tmp/err1.txt; then \
+		echo "blobstore-smoke: no real-I/O rail on stderr"; cat $$tmp/err1.txt; exit 1; fi; \
+	rm -rf $$tmp; \
+	echo "blobstore-smoke: 1k-node disk soak byte-identical at GOMAXPROCS 1 and 4 and to the mem backend"
 
 # Adversarial gate: run the whole scenario catalogue — every defense
 # armed (invariants must hold) and switched off (invariants must

@@ -36,6 +36,10 @@ var soakOpts = struct {
 	grow     int
 	growAt   time.Duration
 	shards   int
+	backend  string
+	storeDir string
+	scrub    time.Duration
+	flush    time.Duration
 }{
 	nodes:   256,
 	ops:     4000,
@@ -47,6 +51,8 @@ var soakOpts = struct {
 	arrival: 50 * time.Millisecond,
 	churn:   time.Minute,
 	downFor: 20 * time.Second,
+	backend: "mem",
+	scrub:   30 * time.Second,
 }
 
 // soakFlagSet builds the flag set parsed from the arguments after
@@ -71,6 +77,10 @@ func soakFlagSet() *flag.FlagSet {
 	fs.IntVar(&o.grow, "grow", o.grow, "nodes to add mid-run (0 disables growth)")
 	fs.DurationVar(&o.growAt, "growat", o.growAt, "virtual time of the growth burst")
 	fs.IntVar(&o.shards, "shards", o.shards, "kernel event-queue shards (0 = scale with nodes; output is identical at any value)")
+	fs.StringVar(&o.backend, "backend", o.backend, "fragment store backend: mem or disk (output is identical either way)")
+	fs.StringVar(&o.storeDir, "storedir", o.storeDir, "volume directory for -backend disk (empty = fresh temp dir, removed after)")
+	fs.DurationVar(&o.scrub, "scrub", o.scrub, "archival scrub/repair scheduler tick (0 disables maintenance)")
+	fs.DurationVar(&o.flush, "flush", o.flush, "store fsync group-commit period (0 = fsync per batch)")
 	return fs
 }
 
@@ -92,11 +102,26 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	if o.shards > 0 {
 		cfg.Shards = o.shards
 	}
+	cfg.Backend = o.backend
+	cfg.ScrubInterval = o.scrub
+	cfg.FlushInterval = o.flush
+	if o.backend == "disk" {
+		cfg.StoreDir = o.storeDir
+		if cfg.StoreDir == "" {
+			dir, err := os.MkdirTemp("", "osexp-blob-")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.StoreDir = dir
+		}
+	}
 	world, err := core.NewSoakWorld(seed, cfg)
 	if err != nil {
 		panic(err)
 	}
-	world.Pool.Instrument(ob.registry(), ob.tracer())
+	defer world.Close()
+	world.Instrument(ob.registry(), ob.tracer())
 	eng := workload.NewEngine(world.Pool.K, workload.EngineConfig{
 		Clients:       cfg.Clients,
 		Ops:           o.ops,
@@ -144,10 +169,27 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 		}
 	}
 	fmt.Fprintf(w, "committed updates across objects: %d\n", committed)
+	if sc := world.Scheduler(); sc != nil {
+		// Scheduler counters are pure functions of the trajectory, so
+		// this line rides the determinism comparisons like the rest of
+		// the report — and must match across mem and disk backends.
+		ss := sc.Stats()
+		fmt.Fprintf(w, "archival maintenance: scrubbed %d frags (%d bad, %d missing, %.1f MB reread, %d passes); repairs %d ok %d failed %d deferred\n",
+			ss.ScrubbedFrags, ss.ScrubBad, ss.ScrubMissing, float64(ss.ScrubBytes)/1e6,
+			ss.ScrubPasses, ss.Repairs, ss.RepairFailed, ss.RepairsDeferred)
+	}
 	if st.InFlight != 0 {
 		fmt.Fprintf(w, "WARNING: %d operations still in flight after drain\n", st.InFlight)
 	}
 	// Memory facts go to stderr, not the report: the report rides the
 	// determinism comparisons and RSS/GC numbers are machine noise.
 	obs.SampleMem().Report(os.Stderr)
+	// So does the real-I/O rail: its numbers are deterministic too, but
+	// they only exist on the disk backend, and the mem-vs-disk ablation
+	// compares stdout byte for byte.
+	if bs, vols := world.BlobStats(); vols > 0 {
+		fmt.Fprintf(os.Stderr, "blobstore: %d volumes; %.1f MB written, %.1f MB read, %d puts, %d gets, %d drops, %d fsyncs, %d compactions\n",
+			vols, float64(bs.BytesWritten)/1e6, float64(bs.BytesRead)/1e6,
+			bs.Puts, bs.Gets, bs.Drops, bs.Syncs, bs.Compactions)
+	}
 }

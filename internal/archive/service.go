@@ -40,7 +40,22 @@ type Service struct {
 	// first fragment, so a million-member service costs one bool per
 	// node until data actually lands.
 	member []bool
-	stores map[simnet.NodeID]*NodeStore
+	stores map[simnet.NodeID]Store
+	// newStore builds a member's store on first use.  The default is
+	// the in-memory NodeStore; SetStoreFactory swaps in a real-I/O
+	// backend before any data lands.
+	newStore func(simnet.NodeID) Store
+	// dirty marks stores with completed writes not yet covered by a
+	// Sync.  With SyncEachBatch set (the default) the set drains at the
+	// end of every Archive/RepairRoot; a maintenance scheduler that
+	// group-commits instead clears the flag and flushes on its own
+	// period via SyncDirty.
+	dirty map[simnet.NodeID]bool
+	// SyncEachBatch syncs every store touched by an Archive or
+	// RepairRoot before the call returns.  Leave it set unless a
+	// scheduler runs SyncDirty on a flush period — an unsynced write is
+	// exactly what fault.PartialFsync deletes.
+	SyncEachBatch bool
 	// rings[d] lists domain d's members in admission order; domainIDs
 	// keeps the member domains sorted.  Dispersal walks these rings
 	// with per-archive cursors — O(fragments + domains) per archive —
@@ -128,14 +143,17 @@ func (s *Service) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // does not show up in handler registration.
 func NewService(net *simnet.Network, nodes []simnet.Node) *Service {
 	s := &Service{
-		net:       net,
-		stores:    make(map[simnet.NodeID]*NodeStore),
-		rings:     make(map[int][]simnet.NodeID),
-		where:     make(map[guid.GUID]Placement),
-		cfgs:      make(map[guid.GUID]Config),
-		inflight:  make(map[uint64]*retrievalState),
-		byz:       make(map[simnet.NodeID]bool),
-		damagedAt: make(map[guid.GUID]time.Duration),
+		net:           net,
+		stores:        make(map[simnet.NodeID]Store),
+		newStore:      func(simnet.NodeID) Store { return NewNodeStore() },
+		dirty:         make(map[simnet.NodeID]bool),
+		SyncEachBatch: true,
+		rings:         make(map[int][]simnet.NodeID),
+		where:         make(map[guid.GUID]Placement),
+		cfgs:          make(map[guid.GUID]Config),
+		inflight:      make(map[uint64]*retrievalState),
+		byz:           make(map[simnet.NodeID]bool),
+		damagedAt:     make(map[guid.GUID]time.Duration),
 	}
 	s.AddMembers(nodes)
 	net.HandleAll(func(to simnet.NodeID, m simnet.Message) { s.handle(to, m) })
@@ -179,22 +197,73 @@ func (s *Service) isMember(id simnet.NodeID) bool {
 	return int(id) < len(s.member) && s.member[id]
 }
 
+// SetStoreFactory swaps the store implementation members get on first
+// fragment (e.g. a blobstore volume per node).  It must be called
+// before any data lands: materialized stores keep their backend.
+func (s *Service) SetStoreFactory(f func(simnet.NodeID) Store) {
+	if len(s.stores) > 0 {
+		panic("archive: SetStoreFactory after stores materialized")
+	}
+	s.newStore = f
+}
+
 // store returns a member's fragment store, materializing it on first
 // use; nil for non-members.
-func (s *Service) store(id simnet.NodeID) *NodeStore {
+func (s *Service) store(id simnet.NodeID) Store {
 	if !s.isMember(id) {
 		return nil
 	}
 	ns, ok := s.stores[id]
 	if !ok {
-		ns = NewNodeStore()
+		ns = s.newStore(id)
 		s.stores[id] = ns
 	}
 	return ns
 }
 
 // Store returns a node's fragment store (tests inject disk loss here).
-func (s *Service) Store(id simnet.NodeID) *NodeStore { return s.store(id) }
+func (s *Service) Store(id simnet.NodeID) Store { return s.store(id) }
+
+// SyncDirty syncs every store with unsynced writes, in node order, and
+// returns the first error.  The per-batch discipline calls this from
+// Archive/RepairRoot; a group-committing scheduler calls it on its
+// flush period instead.
+func (s *Service) SyncDirty() error {
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	ids := make([]simnet.NodeID, 0, len(s.dirty))
+	for id := range s.dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var first error
+	for _, id := range ids {
+		if err := s.stores[id].Sync(); err != nil && first == nil {
+			first = err
+			continue
+		}
+		delete(s.dirty, id)
+	}
+	return first
+}
+
+// DirtyStores reports how many stores hold writes not yet covered by a
+// Sync — the durability exposure window a PartialFsync crash attacks.
+func (s *Service) DirtyStores() int { return len(s.dirty) }
+
+// CloseStores syncs and closes every materialized store, in node
+// order, returning the first error.  The service is unusable for new
+// data afterwards; call it when a disk-backed world shuts down.
+func (s *Service) CloseStores() error {
+	first := s.SyncDirty()
+	for _, id := range s.StoreNodes() {
+		if err := s.stores[id].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Archive encodes data, disperses the fragments across domains, and
 // stores them on their chosen nodes.  In the full update path this is
@@ -214,9 +283,15 @@ func (s *Service) Archive(data []byte, cfg Config, domainRank []int) (guid.GUID,
 		if err := s.store(placement[i]).Put(f); err != nil {
 			return guid.Zero, err
 		}
+		s.dirty[placement[i]] = true
 	}
 	s.where[root] = placement
 	s.cfgs[root] = cfg
+	if s.SyncEachBatch {
+		if err := s.SyncDirty(); err != nil {
+			return guid.Zero, err
+		}
+	}
 	if s.om != nil {
 		s.om.archives.Inc()
 		s.om.fragsStored.Add(int64(len(frags)))
@@ -234,7 +309,7 @@ func (s *Service) Archive(data []byte, cfg Config, domainRank []int) (guid.GUID,
 // archive thousands of objects during construction.
 func (s *Service) disperse(f int, domainRank []int, seed uint64, exclude map[simnet.NodeID]bool) (Placement, error) {
 	if len(s.domainIDs) == 0 {
-		return nil, errors.New("archive: no live nodes to disperse onto")
+		return nil, fmt.Errorf("%w: no member domains", ErrInsufficientDomains)
 	}
 	// Domain visit order: ranked domains first (that have members),
 	// then the remaining member domains in sorted order.
@@ -260,11 +335,21 @@ func (s *Service) disperse(f int, domainRank []int, seed uint64, exclude map[sim
 		cursor[d] = int((seed ^ uint64(d)*0x9e3779b97f4a7c15) % uint64(len(s.rings[d])))
 	}
 	placement := make(Placement, f)
+	// exhausted marks domains a full ring walk found no usable node in
+	// (every member down or excluded).  Without it the probe loop walks
+	// every dead ring again for every remaining fragment — and a
+	// cursor-based variant that forgets where it started spins forever.
+	// When all domains exhaust, the caller gets the typed error so it
+	// can distinguish "placement impossible" from I/O failures.
+	exhausted := make(map[int]bool, len(order))
 	di := int(seed % uint64(len(order)))
 	for i := 0; i < f; i++ {
 		placed := false
 		for try := 0; try < len(order) && !placed; try++ {
 			d := order[(di+try)%len(order)]
+			if exhausted[d] {
+				continue
+			}
 			ring := s.rings[d]
 			for probe := 0; probe < len(ring); probe++ {
 				nid := ring[cursor[d]%len(ring)]
@@ -277,9 +362,13 @@ func (s *Service) disperse(f int, domainRank []int, seed uint64, exclude map[sim
 				placed = true
 				break
 			}
+			if !placed {
+				exhausted[d] = true
+			}
 		}
 		if !placed {
-			return nil, errors.New("archive: no live nodes to disperse onto")
+			return nil, fmt.Errorf("%w: %d domains, all exhausted placing fragment %d/%d",
+				ErrInsufficientDomains, len(order), i, f)
 		}
 	}
 	return placement, nil
@@ -505,6 +594,13 @@ func (s *Service) handle(id simnet.NodeID, m simnet.Message) {
 // service has never stored.
 var ErrUnknownRoot = errors.New("archive: unknown archive root")
 
+// ErrInsufficientDomains reports that fragment placement ran every
+// member domain dry: each domain's ring held only down or excluded
+// nodes.  Callers that passed an exclude set can retry without it
+// (data on a suspect beats no data at all); callers that did not are
+// looking at a world with no live storage.
+var ErrInsufficientDomains = errors.New("archive: insufficient live domains to disperse onto")
+
 // RepairRoot reconstructs one archive from whatever reachable fragments
 // still verify and re-disperses a fresh fragment set, skipping nodes in
 // exclude (the auditor passes its disreputable set, so repair moves
@@ -547,7 +643,7 @@ func (s *Service) RepairRoot(root guid.GUID, domainRank []int, exclude map[simne
 		return s.repairFailed(root, errors.New("archive: repair re-encode diverged from root"))
 	}
 	newPlacement, err := s.disperse(len(newFrags), domainRank, root.Uint64()+1, exclude)
-	if err != nil && len(exclude) > 0 {
+	if errors.Is(err, ErrInsufficientDomains) && len(exclude) > 0 {
 		// Excluding every live node would make repair impossible; data
 		// on a suspect beats no data at all.
 		newPlacement, err = s.disperse(len(newFrags), domainRank, root.Uint64()+1, nil)
@@ -558,6 +654,12 @@ func (s *Service) RepairRoot(root guid.GUID, domainRank []int, exclude map[simne
 	for i, f := range newFrags {
 		if err := s.store(newPlacement[i]).Put(f); err == nil {
 			s.where[root][i] = newPlacement[i]
+			s.dirty[newPlacement[i]] = true
+		}
+	}
+	if s.SyncEachBatch {
+		if err := s.SyncDirty(); err != nil {
+			return s.repairFailed(root, err)
 		}
 	}
 	delete(s.damagedAt, root)
@@ -598,13 +700,13 @@ func (s *Service) repairFailed(root guid.GUID, err error) error {
 func (s *Service) RepairSweep(threshold int, domainRank []int) ([]guid.GUID, map[guid.GUID]error) {
 	var repaired []guid.GUID
 	var failed map[guid.GUID]error
-	var roots []guid.GUID
-	for root := range s.where {
-		roots = append(roots, root)
-	}
-	// Map order is random; sweep in GUID order so runs are reproducible.
-	sort.Slice(roots, func(i, j int) bool { return roots[i].Compare(roots[j]) < 0 })
-	for _, root := range roots {
+	// Snapshot the root set (sorted) before repairing anything.
+	// RepairRoot mutates s.where placements as it re-disperses;
+	// interleaving that mutation with an iteration over the same map
+	// makes the sweep order — and with it every repair placement —
+	// random across runs.  The snapshot pins GUID order, which the
+	// regression test asserts against the repaired list.
+	for _, root := range s.Roots() {
 		if s.LiveFragments(root) > threshold {
 			continue
 		}

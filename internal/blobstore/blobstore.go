@@ -1,0 +1,674 @@
+// Package blobstore is the on-disk fragment store: one append-only
+// volume file per storage node, holding self-verifying archival
+// fragments behind the archive.Store interface.
+//
+// The shape follows production blob stores (CubeFS's BlobStore keeps
+// append-log volumes on disk under an access front, with a background
+// scheduler doing repair and inspection): every write appends a framed
+// record — magic, kind, length, CRC, payload — and an in-memory index
+// maps (root, index) to record offsets.  Deletes append tombstones;
+// space comes back through compaction, which rewrites live records to
+// a fresh volume and atomically renames it into place.
+//
+// Crash safety is the point of the package.  Open rebuilds the index
+// by scanning the log and stops at the first record that is torn
+// (short) or fails its CRC, truncating the tail: a crash mid-append
+// loses at most the record being written.  Durability is explicit —
+// completed appends are only guaranteed to survive once Sync has
+// fsynced them — and the Crashable surface lets the fault layer tear
+// writes at any byte offset and drop unsynced tails, so recovery is a
+// tested path, not a hope.
+//
+// Stores are single-threaded like everything else in the simulation:
+// one store belongs to one simulated node under one kernel.
+package blobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/guid"
+)
+
+// Record framing: a fixed header followed by the CRC-protected payload.
+//
+//	magic   u32  "OSBF"
+//	kind    u8   put | drop
+//	payload u32  payload byte length
+//	crc     u32  CRC-32C (Castagnoli) of the payload
+//	payload ...
+//
+// Put payloads carry a full fragment (root, index, total, proof path,
+// data); drop payloads carry just (root, index).  All integers are
+// big-endian.
+const (
+	magic      = 0x4F534246 // "OSBF"
+	kindPut    = 1
+	kindDrop   = 2
+	headerLen  = 13
+	maxPayload = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCrashed reports an operation on a store that has crashed (a torn
+// write or an injected crash) and not yet recovered.
+var ErrCrashed = errors.New("blobstore: store crashed; recover before use")
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("blobstore: store closed")
+
+// Config tunes one volume.
+type Config struct {
+	// Path is the volume file, created on first open.
+	Path string
+	// CompactMinDead is the dead-byte floor below which automatic
+	// compaction never triggers (default 1 MiB).
+	CompactMinDead int64
+	// CompactMinFrac is the dead fraction of the volume that triggers
+	// automatic compaction once past the floor (default 0.5).
+	CompactMinFrac float64
+	// DisableAutoCompact leaves dead bytes in place until an explicit
+	// Compact call (tests pin offsets with this).
+	DisableAutoCompact bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CompactMinDead <= 0 {
+		c.CompactMinDead = 1 << 20
+	}
+	if c.CompactMinFrac <= 0 {
+		c.CompactMinFrac = 0.5
+	}
+	return c
+}
+
+// Stats counts the volume's real I/O.  Everything here is a pure
+// function of the operation sequence, so disk-backed runs stay
+// byte-identical across GOMAXPROCS; wall-clock cost is the only
+// nondeterminism and it lives outside the simulation.
+type Stats struct {
+	Puts, Gets, Drops int64
+	BytesWritten      int64
+	BytesRead         int64
+	Syncs             int64
+	Compactions       int64
+	// RecoveredFrags is the live fragment count rebuilt by the last
+	// open/recover scan.
+	RecoveredFrags int64
+	// TruncatedBytes accumulates torn or unsynced tail bytes dropped
+	// across recoveries.
+	TruncatedBytes int64
+}
+
+// ref locates one record in the volume.
+type ref struct {
+	off  int64
+	size int64
+}
+
+// Store is one node's on-disk fragment store.
+type Store struct {
+	cfg    Config
+	f      *os.File
+	size   int64 // logical end of the log (next append offset)
+	synced int64 // prefix guaranteed durable by the last fsync
+	index  map[guid.GUID]map[int]ref
+	live   int64 // bytes of records the index still references
+	stats  Stats
+
+	// torn >= 0 arms the failpoint: the next append writes only that
+	// many bytes of its record, then the store crashes.
+	torn    int
+	crashed bool
+	closed  bool
+	ioErr   error // first write error, surfaced by Sync/Close
+}
+
+// Open opens (or creates) a volume and rebuilds its index by scanning
+// the log, truncating any torn tail — the crash-recovery path runs on
+// every open, so it is exercised constantly rather than only after
+// disasters.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if dir := filepath.Dir(cfg.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, f: f, torn: -1}
+	if err := s.recoverScan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverScan rebuilds the index from the log: records are applied in
+// order until the first torn or corrupt one, and the tail beyond it is
+// truncated away.  Only fully-written records survive; a record whose
+// CRC fails — however close to complete — is dropped with everything
+// after it, so recovery can never resurrect a fragment that might be
+// corrupt.
+func (s *Store) recoverScan() error {
+	s.index = make(map[guid.GUID]map[int]ref)
+	s.live = 0
+	fi, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	end := fi.Size()
+	var off int64
+	hdr := make([]byte, headerLen)
+	for off+headerLen <= end {
+		if _, err := s.f.ReadAt(hdr, off); err != nil {
+			return err
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != magic {
+			break
+		}
+		kind := hdr[4]
+		if kind != kindPut && kind != kindDrop {
+			break
+		}
+		plen := int64(binary.BigEndian.Uint32(hdr[5:]))
+		if plen > maxPayload || off+headerLen+plen > end {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+headerLen); err != nil {
+			return err
+		}
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(hdr[9:]) {
+			break
+		}
+		r := ref{off: off, size: headerLen + plen}
+		if err := s.apply(kind, payload, r); err != nil {
+			break
+		}
+		off += r.size
+	}
+	if off < end {
+		s.stats.TruncatedBytes += end - off
+		if err := s.f.Truncate(off); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.size, s.synced = off, off
+	s.stats.RecoveredFrags = 0
+	for _, m := range s.index {
+		s.stats.RecoveredFrags += int64(len(m))
+	}
+	return nil
+}
+
+// apply replays one valid record into the index.
+func (s *Store) apply(kind byte, payload []byte, r ref) error {
+	switch kind {
+	case kindPut:
+		sf, err := decodePut(payload)
+		if err != nil {
+			return err
+		}
+		m := s.index[sf.Root]
+		if m == nil {
+			m = make(map[int]ref)
+			s.index[sf.Root] = m
+		}
+		if old, ok := m[sf.Index]; ok {
+			s.live -= old.size
+		}
+		m[sf.Index] = r
+		s.live += r.size
+	case kindDrop:
+		root, idx, err := decodeDrop(payload)
+		if err != nil {
+			return err
+		}
+		if m := s.index[root]; m != nil {
+			if old, ok := m[idx]; ok {
+				s.live -= old.size
+				delete(m, idx)
+				if len(m) == 0 {
+					delete(s.index, root)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// append frames and writes one record at the log tail, honouring the
+// torn-write failpoint.
+func (s *Store) append(kind byte, payload []byte) (ref, error) {
+	rec := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(rec[0:], magic)
+	rec[4] = kind
+	binary.BigEndian.PutUint32(rec[5:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[9:], crc32.Checksum(payload, crcTable))
+	copy(rec[headerLen:], payload)
+	if s.torn >= 0 {
+		keep := s.torn
+		if keep > len(rec) {
+			keep = len(rec)
+		}
+		s.torn = -1
+		if keep > 0 {
+			if _, err := s.f.WriteAt(rec[:keep], s.size); err != nil {
+				s.ioErr = err
+			}
+			s.size += int64(keep)
+			s.stats.BytesWritten += int64(keep)
+		}
+		s.crashed = true
+		return ref{}, ErrCrashed
+	}
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		s.ioErr = err
+		return ref{}, err
+	}
+	r := ref{off: s.size, size: int64(len(rec))}
+	s.size += r.size
+	s.stats.BytesWritten += r.size
+	return r, nil
+}
+
+// Put stores a fragment after verifying it — a well-behaved server
+// refuses garbage, on disk exactly as in memory.
+func (s *Store) Put(sf archive.StoredFragment) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if !sf.Verify() {
+		return errors.New("blobstore: fragment failed self-verification")
+	}
+	return s.putRecord(sf)
+}
+
+// putRecord appends a put record without verification (Tamper persists
+// deliberately-rotted payloads through here).
+func (s *Store) putRecord(sf archive.StoredFragment) error {
+	r, err := s.append(kindPut, encodePut(sf))
+	if err != nil {
+		return err
+	}
+	m := s.index[sf.Root]
+	if m == nil {
+		m = make(map[int]ref)
+		s.index[sf.Root] = m
+	}
+	if old, ok := m[sf.Index]; ok {
+		s.live -= old.size
+	}
+	m[sf.Index] = r
+	s.live += r.size
+	s.stats.Puts++
+	return nil
+}
+
+// Get reads a fragment back from disk.  The framing CRC is re-checked
+// on every read, so media corruption of a record's header or payload
+// surfaces as a missing fragment rather than garbage — silent rot
+// injected *within* a valid record (Tamper) still reads back fine and
+// is the Merkle layer's job to catch.
+func (s *Store) Get(root guid.GUID, index int) (archive.StoredFragment, bool) {
+	if s.usable() != nil {
+		return archive.StoredFragment{}, false
+	}
+	r, ok := s.index[root][index]
+	if !ok {
+		return archive.StoredFragment{}, false
+	}
+	rec := make([]byte, r.size)
+	if _, err := s.f.ReadAt(rec, r.off); err != nil {
+		return archive.StoredFragment{}, false
+	}
+	s.stats.BytesRead += r.size
+	s.stats.Gets++
+	if crc32.Checksum(rec[headerLen:], crcTable) != binary.BigEndian.Uint32(rec[9:]) {
+		return archive.StoredFragment{}, false
+	}
+	sf, err := decodePut(rec[headerLen:])
+	if err != nil {
+		return archive.StoredFragment{}, false
+	}
+	return sf, true
+}
+
+// Indexes lists the fragment indexes held for an archive, sorted.
+func (s *Store) Indexes(root guid.GUID) []int {
+	var out []int
+	for i := range s.index[root] {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Roots lists held archive roots in GUID order.
+func (s *Store) Roots() []guid.GUID {
+	out := make([]guid.GUID, 0, len(s.index))
+	for root, m := range s.index {
+		if len(m) > 0 {
+			out = append(out, root)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Scan enumerates held (root, index) pairs in sorted order.
+func (s *Store) Scan(fn func(root guid.GUID, index int) bool) {
+	for _, root := range s.Roots() {
+		for _, idx := range s.Indexes(root) {
+			if !fn(root, idx) {
+				return
+			}
+		}
+	}
+}
+
+// Drop appends a tombstone and forgets the fragment; the dead bytes
+// come back at the next compaction.
+func (s *Store) Drop(root guid.GUID, index int) {
+	if s.usable() != nil {
+		return
+	}
+	m := s.index[root]
+	r, ok := m[index]
+	if !ok {
+		return
+	}
+	if _, err := s.append(kindDrop, encodeDrop(root, index)); err != nil {
+		return // crashed mid-tombstone: the index dies with the crash
+	}
+	s.live -= r.size
+	delete(m, index)
+	if len(m) == 0 {
+		delete(s.index, root)
+	}
+	s.stats.Drops++
+	s.maybeCompact()
+}
+
+// Tamper rewrites a stored fragment's payload through the unchecked
+// append path — bit rot with valid framing, invisible to everything
+// below the Merkle layer.
+func (s *Store) Tamper(root guid.GUID, index int, mut func(data []byte)) bool {
+	if s.usable() != nil {
+		return false
+	}
+	sf, ok := s.Get(root, index)
+	if !ok {
+		return false
+	}
+	sf.Data = append([]byte(nil), sf.Data...)
+	mut(sf.Data)
+	return s.putRecord(sf) == nil
+}
+
+// Sync fsyncs the volume: every completed append before this call is
+// durable afterwards.  No-op when nothing new was written.
+func (s *Store) Sync() error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if s.ioErr != nil {
+		return s.ioErr
+	}
+	if s.synced == s.size {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.synced = s.size
+	s.stats.Syncs++
+	return nil
+}
+
+// Close syncs and closes the volume.
+func (s *Store) Close() error {
+	if s.closed {
+		return ErrClosed
+	}
+	var first error
+	if !s.crashed {
+		first = s.Sync()
+	}
+	if err := s.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.closed = true
+	return first
+}
+
+// usable gates mutating/reading operations on crash and close state.
+func (s *Store) usable() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ---- Crash injection (archive.Crashable) ----
+
+// TearNextAppend arms the torn-write failpoint: the next record append
+// writes only keep bytes, then the store crashes — the moment a power
+// cut lands mid-write.
+func (s *Store) TearNextAppend(keep int) { s.torn = keep }
+
+// Crash abandons the store as a dead process would: no flush, no
+// close, every in-memory structure presumed lost.
+func (s *Store) Crash() { s.crashed = true }
+
+// Recover replays the volume as a fresh open.  With dropUnsynced set,
+// bytes appended since the last Sync are discarded first — the crash
+// happened before the fsync, so those records never reached the
+// platter.
+func (s *Store) Recover(dropUnsynced bool) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if dropUnsynced && s.size > s.synced {
+		s.stats.TruncatedBytes += s.size - s.synced
+		if err := s.f.Truncate(s.synced); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.crashed = false
+	s.torn = -1
+	s.ioErr = nil
+	return s.recoverScan()
+}
+
+// ---- Compaction ----
+
+// DeadBytes reports log bytes no longer referenced by the index
+// (overwritten records, dropped records, tombstones).
+func (s *Store) DeadBytes() int64 { return s.size - s.live }
+
+// maybeCompact triggers compaction once dead bytes pass both the
+// absolute floor and the dead fraction of the volume.
+func (s *Store) maybeCompact() {
+	if s.cfg.DisableAutoCompact {
+		return
+	}
+	dead := s.DeadBytes()
+	if dead >= s.cfg.CompactMinDead && float64(dead) >= s.cfg.CompactMinFrac*float64(s.size) {
+		_ = s.Compact() // best effort; the old volume remains valid on failure
+	}
+}
+
+// Compact rewrites live records to a fresh volume file and atomically
+// renames it into place, reclaiming dead bytes.  Record order in the
+// compacted volume is (root, index) order — deterministic, so two
+// worlds that ran the same operation sequence hold byte-identical
+// volumes.
+func (s *Store) Compact() error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	tmpPath := s.cfg.Path + ".compact"
+	nf, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	newIndex := make(map[guid.GUID]map[int]ref, len(s.index))
+	var off int64
+	for _, root := range s.Roots() {
+		m := make(map[int]ref)
+		newIndex[root] = m
+		for _, idx := range s.Indexes(root) {
+			r := s.index[root][idx]
+			rec := make([]byte, r.size)
+			if _, err := s.f.ReadAt(rec, r.off); err != nil {
+				nf.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+			s.stats.BytesRead += r.size
+			if _, err := nf.WriteAt(rec, off); err != nil {
+				nf.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+			m[idx] = ref{off: off, size: r.size}
+			off += r.size
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.cfg.Path); err != nil {
+		nf.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	syncDir(filepath.Dir(s.cfg.Path))
+	s.f.Close()
+	s.f = nf
+	s.index = newIndex
+	s.size, s.synced = off, off
+	s.live = off
+	s.stats.BytesWritten += off
+	s.stats.Compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Stats returns a copy of the volume's I/O counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Size reports the volume's logical byte length.
+func (s *Store) Size() int64 { return s.size }
+
+// Unsynced reports bytes appended since the last fsync — the window a
+// pre-fsync crash erases.
+func (s *Store) Unsynced() int64 { return s.size - s.synced }
+
+// ---- Payload encoding ----
+
+// encodePut frames a fragment:
+//
+//	root [guid.Size] | u32 index | u32 total | u32 nproof |
+//	proof [nproof * guid.Size] | u32 dataLen | data
+func encodePut(sf archive.StoredFragment) []byte {
+	n := guid.Size + 4 + 4 + 4 + len(sf.Proof)*guid.Size + 4 + len(sf.Data)
+	out := make([]byte, n)
+	o := copy(out, sf.Root[:])
+	binary.BigEndian.PutUint32(out[o:], uint32(sf.Index))
+	o += 4
+	binary.BigEndian.PutUint32(out[o:], uint32(sf.Total))
+	o += 4
+	binary.BigEndian.PutUint32(out[o:], uint32(len(sf.Proof)))
+	o += 4
+	for _, p := range sf.Proof {
+		o += copy(out[o:], p[:])
+	}
+	binary.BigEndian.PutUint32(out[o:], uint32(len(sf.Data)))
+	o += 4
+	copy(out[o:], sf.Data)
+	return out
+}
+
+func decodePut(payload []byte) (archive.StoredFragment, error) {
+	var sf archive.StoredFragment
+	if len(payload) < guid.Size+12 {
+		return sf, fmt.Errorf("blobstore: put payload too short (%d bytes)", len(payload))
+	}
+	o := copy(sf.Root[:], payload)
+	sf.Index = int(binary.BigEndian.Uint32(payload[o:]))
+	o += 4
+	sf.Total = int(binary.BigEndian.Uint32(payload[o:]))
+	o += 4
+	nproof := int(binary.BigEndian.Uint32(payload[o:]))
+	o += 4
+	if nproof < 0 || nproof > (len(payload)-o-4)/guid.Size {
+		return sf, errors.New("blobstore: corrupt proof count")
+	}
+	sf.Proof = make([]guid.GUID, nproof)
+	for i := range sf.Proof {
+		o += copy(sf.Proof[i][:], payload[o:])
+	}
+	if len(payload)-o < 4 {
+		return sf, errors.New("blobstore: truncated data length")
+	}
+	dlen := int(binary.BigEndian.Uint32(payload[o:]))
+	o += 4
+	if dlen != len(payload)-o {
+		return sf, errors.New("blobstore: data length mismatch")
+	}
+	sf.Data = append([]byte(nil), payload[o:]...)
+	return sf, nil
+}
+
+func encodeDrop(root guid.GUID, index int) []byte {
+	out := make([]byte, guid.Size+4)
+	copy(out, root[:])
+	binary.BigEndian.PutUint32(out[guid.Size:], uint32(index))
+	return out
+}
+
+func decodeDrop(payload []byte) (guid.GUID, int, error) {
+	var root guid.GUID
+	if len(payload) != guid.Size+4 {
+		return root, 0, errors.New("blobstore: corrupt drop payload")
+	}
+	copy(root[:], payload)
+	return root, int(binary.BigEndian.Uint32(payload[guid.Size:])), nil
+}
+
+// Interface conformance.
+var (
+	_ archive.Store     = (*Store)(nil)
+	_ archive.Crashable = (*Store)(nil)
+)

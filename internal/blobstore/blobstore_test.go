@@ -1,0 +1,312 @@
+package blobstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"oceanstore/internal/archive"
+	"oceanstore/internal/guid"
+)
+
+// mkFrags encodes n bytes of random data into verified fragments.
+func mkFrags(t *testing.T, seed int64, size int) (guid.GUID, []archive.StoredFragment) {
+	t.Helper()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(data)
+	root, frags, err := archive.Encode(data, archive.Config{DataShards: 4, TotalFragments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, frags
+}
+
+func openStore(t *testing.T, path string, cfg Config) *Store {
+	t.Helper()
+	cfg.Path = path
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripAndReopen: fragments put and synced survive a close and
+// reopen byte-for-byte, and the store contract (sorted Indexes/Roots,
+// Put-verifies, Get-returns-equal) matches the in-memory NodeStore.
+func TestRoundTripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 1, 3000)
+	s := openStore(t, path, Config{})
+
+	// Store in scrambled order; Indexes must come back sorted (the
+	// same determinism contract NodeStore pins).
+	for _, i := range rand.New(rand.NewSource(2)).Perm(len(frags)) {
+		if err := s.Put(frags[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Indexes(root); !sort.IntsAreSorted(got) || len(got) != len(frags) {
+		t.Fatalf("Indexes wrong: %v", got)
+	}
+	// Garbage is refused at the door.
+	bad := frags[0]
+	bad.Data = append([]byte(nil), bad.Data...)
+	bad.Data[0] ^= 0xFF
+	if err := s.Put(bad); err == nil {
+		t.Fatal("store accepted a non-verifying fragment")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, path, Config{})
+	defer s2.Close()
+	if got := s2.Stats().RecoveredFrags; got != int64(len(frags)) {
+		t.Fatalf("recovered %d fragments, want %d", got, len(frags))
+	}
+	for _, f := range frags {
+		g, ok := s2.Get(root, f.Index)
+		if !ok {
+			t.Fatalf("fragment %d lost across reopen", f.Index)
+		}
+		if !reflect.DeepEqual(g, f) {
+			t.Fatalf("fragment %d mutated across reopen", f.Index)
+		}
+		if !g.Verify() {
+			t.Fatalf("fragment %d fails verification after reopen", f.Index)
+		}
+	}
+	if s2.Stats().BytesRead == 0 {
+		t.Fatal("reads did not count disk bytes")
+	}
+}
+
+// TestDropTombstonesSurviveReopen: a dropped fragment stays dropped
+// after recovery — the tombstone replays over the put record.
+func TestDropTombstonesSurviveReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 3, 2000)
+	s := openStore(t, path, Config{DisableAutoCompact: true})
+	for _, f := range frags {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drop(root, frags[2].Index)
+	s.Drop(root, frags[5].Index)
+	if s.DeadBytes() == 0 {
+		t.Fatal("drops left no dead bytes")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, path, Config{DisableAutoCompact: true})
+	defer s2.Close()
+	want := []int{0, 1, 3, 4, 6, 7}
+	if got := s2.Indexes(root); !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexes after reopen = %v, want %v", got, want)
+	}
+}
+
+// TestCompactReclaimsDeadBytes: compaction drops tombstoned records,
+// keeps every live fragment readable, and the compacted volume
+// recovers identically.
+func TestCompactReclaimsDeadBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 7, 4000)
+	s := openStore(t, path, Config{DisableAutoCompact: true})
+	for _, f := range frags {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s.Drop(root, frags[i].Index)
+	}
+	before := s.Size()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() >= before {
+		t.Fatalf("compaction did not shrink the volume: %d -> %d", before, s.Size())
+	}
+	if s.DeadBytes() != 0 {
+		t.Fatalf("dead bytes after compaction: %d", s.DeadBytes())
+	}
+	for _, f := range frags[4:] {
+		g, ok := s.Get(root, f.Index)
+		if !ok || !g.Verify() {
+			t.Fatalf("live fragment %d lost or corrupt after compaction", f.Index)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, path, Config{})
+	defer s2.Close()
+	if got := len(s2.Indexes(root)); got != 4 {
+		t.Fatalf("compacted volume recovered %d fragments, want 4", got)
+	}
+}
+
+// TestAutoCompactTriggers: enough dropped weight trips the automatic
+// threshold without an explicit Compact call.
+func TestAutoCompactTriggers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 9, 8000)
+	s := openStore(t, path, Config{CompactMinDead: 1024, CompactMinFrac: 0.4})
+	defer s.Close()
+	for _, f := range frags {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		s.Drop(root, frags[i].Index)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	for _, f := range frags[6:] {
+		if g, ok := s.Get(root, f.Index); !ok || !g.Verify() {
+			t.Fatalf("fragment %d lost by auto-compaction", f.Index)
+		}
+	}
+}
+
+// TestTamperPersistsRot: Tamper's garbled payload survives reopen with
+// valid framing — silent rot that only the Merkle layer can see, on
+// disk exactly as in memory.
+func TestTamperPersistsRot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 11, 1500)
+	s := openStore(t, path, Config{})
+	for _, f := range frags {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Tamper(root, frags[3].Index, func(d []byte) { d[len(d)/2] ^= 1 }) {
+		t.Fatal("tamper failed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, path, Config{})
+	defer s2.Close()
+	g, ok := s2.Get(root, frags[3].Index)
+	if !ok {
+		t.Fatal("rotted fragment vanished — rot must persist, not disappear")
+	}
+	if g.Verify() {
+		t.Fatal("rot healed itself across reopen")
+	}
+	// Every other fragment is untouched.
+	for _, f := range frags {
+		if f.Index == frags[3].Index {
+			continue
+		}
+		if g, ok := s2.Get(root, f.Index); !ok || !g.Verify() {
+			t.Fatalf("rot leaked onto fragment %d", f.Index)
+		}
+	}
+}
+
+// TestPartialFsyncRecovery separates the two durability boundaries:
+// records appended but not fsynced survive a plain recovery (they hit
+// the file) but are erased by a drop-unsynced recovery (the crash beat
+// the fsync).
+func TestPartialFsyncRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 13, 2500)
+	s := openStore(t, path, Config{})
+	defer s.Close()
+	for _, f := range frags[:4] {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frags[4:] {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Unsynced() == 0 {
+		t.Fatal("no unsynced window to attack")
+	}
+
+	s.Crash()
+	if err := s.Put(frags[0]); err != ErrCrashed {
+		t.Fatalf("crashed store accepted a put: %v", err)
+	}
+	if err := s.Recover(true); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	var got []int
+	for _, f := range frags {
+		if _, ok := s.Get(root, f.Index); ok {
+			got = append(got, f.Index)
+		}
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drop-unsynced recovery kept %v, want exactly the synced prefix %v", got, want)
+	}
+
+	// The same unsynced tail would have survived a recovery that does
+	// not drop it (the writes reached the file, just not the platter).
+	for _, f := range frags[4:] {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Crash()
+	if err := s.Recover(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Indexes(root)); got != len(frags) {
+		t.Fatalf("plain recovery kept %d fragments, want %d", got, len(frags))
+	}
+}
+
+// TestRecoveryIgnoresGarbageTail: arbitrary garbage appended to the
+// volume (a torn write that scribbled junk) is truncated at open.
+func TestRecoveryIgnoresGarbageTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	root, frags := mkFrags(t, 17, 1000)
+	s := openStore(t, path, Config{})
+	for _, f := range frags {
+		if err := s.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 137)
+	rand.New(rand.NewSource(18)).Read(junk)
+	f.Write(junk)
+	f.Close()
+
+	s2 := openStore(t, path, Config{})
+	defer s2.Close()
+	if got := len(s2.Indexes(root)); got != len(frags) {
+		t.Fatalf("garbage tail cost fragments: %d of %d", got, len(frags))
+	}
+	if s2.Stats().TruncatedBytes != int64(len(junk)) {
+		t.Fatalf("truncated %d bytes, want %d", s2.Stats().TruncatedBytes, len(junk))
+	}
+}

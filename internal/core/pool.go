@@ -50,6 +50,10 @@ type PoolConfig struct {
 	// NoMesh so a 10k-node pool builds in O(n).  Locate and Router
 	// are unavailable on a meshless pool.
 	NoMesh bool
+	// StoreFactory, when set, selects the fragment-store backend each
+	// storage node gets on first use (e.g. a blobstore volume per
+	// node); nil keeps the in-memory NodeStore.
+	StoreFactory func(simnet.NodeID) archive.Store
 	// BatchDelivery turns on simnet's same-tick delivery batching
 	// (one event-heap push per distinct delivery time).
 	BatchDelivery bool
@@ -160,6 +164,9 @@ func NewPool(seed int64, cfg PoolConfig) *Pool {
 		ACLs:    acl.NewStore(),
 		cfg:     cfg,
 		objects: make(map[guid.GUID]*objState),
+	}
+	if cfg.StoreFactory != nil {
+		p.Arch.SetStoreFactory(cfg.StoreFactory)
 	}
 	return p
 }

@@ -2,14 +2,17 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"oceanstore/internal/acl"
 	"oceanstore/internal/archive"
+	"oceanstore/internal/blobstore"
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/epidemic"
 	"oceanstore/internal/guid"
 	"oceanstore/internal/object"
+	"oceanstore/internal/obs"
 	"oceanstore/internal/replica"
 	"oceanstore/internal/simnet"
 	"oceanstore/internal/update"
@@ -54,6 +57,21 @@ type SoakConfig struct {
 	RetireEvery time.Duration
 	// Guarantees are the session guarantees every client runs under.
 	Guarantees Guarantees
+	// Backend selects the fragment-store implementation: "" or "mem"
+	// for the in-memory NodeStore, "disk" for one blobstore volume per
+	// storage node under StoreDir.  The backends share one behavioural
+	// contract (archive.Store), so swapping them must not change the
+	// run's trajectory — only its real I/O.
+	Backend string
+	// StoreDir is the volume directory for the disk backend.
+	StoreDir string
+	// ScrubInterval arms the archival maintenance scheduler: budgeted
+	// scrub (re-read + verify) plus rate-limited background repair on
+	// this tick period.  0 leaves maintenance off.
+	ScrubInterval time.Duration
+	// FlushInterval moves store fsync from per-batch to a scheduler
+	// group commit on this period (needs ScrubInterval > 0).
+	FlushInterval time.Duration
 	// Link model.
 	Extent         float64
 	Domains        int
@@ -125,6 +143,10 @@ type SoakWorld struct {
 	nextSecondary int
 	growIdx       int
 	created       int
+
+	// sched is the archival maintenance scheduler (nil when off).
+	sched     *archive.Scheduler
+	schedStop func()
 }
 
 // NewSoakWorld builds the world: a meshless pool (O(n) construction),
@@ -169,6 +191,28 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 		NoMesh:         true,
 		BatchDelivery:  true,
 		Shards:         cfg.Shards,
+	}
+	switch cfg.Backend {
+	case "", "mem":
+	case "disk":
+		if cfg.StoreDir == "" {
+			return nil, fmt.Errorf("core: disk backend needs a StoreDir")
+		}
+		dir := cfg.StoreDir
+		pc.StoreFactory = func(id simnet.NodeID) archive.Store {
+			s, err := blobstore.Open(blobstore.Config{
+				Path: filepath.Join(dir, fmt.Sprintf("vol-%06d.log", id)),
+			})
+			if err != nil {
+				// Stores materialize lazily deep inside the archive path;
+				// a volume that cannot open is an environment failure, not
+				// a simulated fault.
+				panic(fmt.Sprintf("core: open blobstore volume for node %d: %v", id, err))
+			}
+			return s
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown store backend %q", cfg.Backend)
 	}
 	p := NewPool(seed, pc)
 	w := &SoakWorld{
@@ -218,7 +262,67 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 			}
 		})
 	}
+	if cfg.ScrubInterval > 0 {
+		w.sched = archive.NewScheduler(p.Arch, archive.SchedulerConfig{
+			ScrubInterval: cfg.ScrubInterval,
+			// One fragment of slack above the reconstruction floor.
+			Threshold:     pc.Ring.Archive.DataShards + 1,
+			FlushInterval: cfg.FlushInterval,
+		})
+		w.schedStop = w.sched.Start()
+	}
 	return w, nil
+}
+
+// Scheduler exposes the archival maintenance scheduler (nil when the
+// world runs without one).
+func (w *SoakWorld) Scheduler() *archive.Scheduler { return w.sched }
+
+// Instrument attaches observability to the pool and the maintenance
+// scheduler.
+func (w *SoakWorld) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	w.Pool.Instrument(reg, tr)
+	if w.sched != nil {
+		w.sched.Instrument(reg)
+	}
+}
+
+// Close stops maintenance and syncs + closes every fragment store —
+// mandatory for the disk backend, a no-op pile for the memory one.
+func (w *SoakWorld) Close() error {
+	if w.schedStop != nil {
+		w.schedStop()
+		w.schedStop = nil
+	}
+	return w.Pool.Arch.CloseStores()
+}
+
+// BlobStats aggregates real-I/O counters across disk-backed stores,
+// and reports how many volumes exist.  Zero volumes on the memory
+// backend.  Wall-clock I/O cost lives outside the simulation, so
+// these numbers are for the stderr rail, not deterministic reports —
+// though in fact they too are pure functions of the trajectory.
+func (w *SoakWorld) BlobStats() (blobstore.Stats, int) {
+	var agg blobstore.Stats
+	vols := 0
+	for _, id := range w.Pool.Arch.StoreNodes() {
+		bs, ok := w.Pool.Arch.Store(id).(*blobstore.Store)
+		if !ok {
+			continue
+		}
+		vols++
+		st := bs.Stats()
+		agg.Puts += st.Puts
+		agg.Gets += st.Gets
+		agg.Drops += st.Drops
+		agg.BytesWritten += st.BytesWritten
+		agg.BytesRead += st.BytesRead
+		agg.Syncs += st.Syncs
+		agg.Compactions += st.Compactions
+		agg.RecoveredFrags += st.RecoveredFrags
+		agg.TruncatedBytes += st.TruncatedBytes
+	}
+	return agg, vols
 }
 
 // Objects returns the current object set (grown by creates).

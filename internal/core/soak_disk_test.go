@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"oceanstore/internal/workload"
+)
+
+// soakRun drives a small soak world to completion and returns facts
+// that any trajectory change would perturb.
+func soakRun(t *testing.T, backend, dir string) (workload.EngineStats, string) {
+	t.Helper()
+	cfg := DefaultSoakConfig(64)
+	cfg.Backend = backend
+	cfg.StoreDir = dir
+	cfg.ScrubInterval = 15 * time.Second
+	cfg.FlushInterval = time.Minute
+	w, err := NewSoakWorld(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	eng := workload.NewEngine(w.Pool.K, workload.EngineConfig{
+		Clients:       cfg.Clients,
+		Ops:           300,
+		Mix:           workload.Mix{WriteFrac: 0.4, CreateFrac: 0.02},
+		Objects:       cfg.Objects,
+		ZipfS:         1.1,
+		MeanWriteSize: 128,
+		ClosedLoop:    true,
+		MeanThink:     100 * time.Millisecond,
+		RetryBackoff:  time.Second,
+	}, w)
+	w.StartChurn(30*time.Second, 10*time.Second)
+	eng.Start()
+	w.Pool.K.RunWhile(func() bool { return !eng.Done() })
+
+	// Fingerprint the archival state: every root with its placement,
+	// plus network totals and scheduler counters.
+	fp := ""
+	for _, root := range w.Pool.Arch.Roots() {
+		p, _ := w.Pool.Arch.Placement(root)
+		fp += fmt.Sprintf("%v:%v\n", root, p)
+	}
+	ns := w.Pool.Net.Stats()
+	fp += fmt.Sprintf("net: %d msgs %d bytes %d dropped\n",
+		ns.MessagesSent, ns.BytesSent, ns.MessagesDropped)
+	fp += fmt.Sprintf("sched: %+v\n", w.Scheduler().Stats())
+	return eng.Stats(), fp
+}
+
+// TestSoakBackendParity: the disk backend must not change the world's
+// trajectory — same seed, same workload, byte-identical archival
+// placements, network totals, workload stats and scheduler counters as
+// the memory backend.  This is the apples-to-apples guarantee the
+// memory-vs-disk ablation rests on.
+func TestSoakBackendParity(t *testing.T) {
+	memStats, memFP := soakRun(t, "mem", "")
+	diskStats, diskFP := soakRun(t, "disk", t.TempDir())
+	if !reflect.DeepEqual(memStats, diskStats) {
+		t.Fatalf("workload stats diverge across backends:\nmem:  %+v\ndisk: %+v", memStats, diskStats)
+	}
+	if memFP != diskFP {
+		t.Fatalf("trajectory fingerprints diverge across backends:\nmem:\n%s\ndisk:\n%s", memFP, diskFP)
+	}
+}
+
+// TestSoakDiskWorldSurvivesReopen: a disk-backed world's volumes hold
+// real state — a second world over the same directory recovers every
+// fragment the first one stored.
+func TestSoakDiskWorldSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultSoakConfig(64)
+	cfg.Backend = "disk"
+	cfg.StoreDir = dir
+	w, err := NewSoakWorld(9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := 0
+	for _, id := range w.Pool.Arch.StoreNodes() {
+		for _, root := range w.Pool.Arch.RootsHeldBy(id) {
+			held += len(w.Pool.Arch.Store(id).Indexes(root))
+		}
+	}
+	if held == 0 {
+		t.Fatal("no fragments stored at construction")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seed, same directory: stores open the existing volumes and
+	// must recover every fragment.
+	w2, err := NewSoakWorld(9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	bs, vols := w2.BlobStats()
+	if vols == 0 {
+		t.Fatal("no blobstore volumes on the disk backend")
+	}
+	if bs.RecoveredFrags != int64(held) {
+		t.Fatalf("recovered %d fragments across volumes, want %d", bs.RecoveredFrags, held)
+	}
+	if bad := w2.Pool.Arch.CountBadFragments(); bad != 0 {
+		t.Fatalf("%d fragments corrupt after reopen", bad)
+	}
+}

@@ -27,6 +27,13 @@ type DataTarget interface {
 	SetByzantine(id simnet.NodeID, on bool)
 	// WipeNode drops every fragment a node holds; returns the count.
 	WipeNode(id simnet.NodeID) int
+	// TornWrite tears a fragment rewrite mid-record on a node's store
+	// and runs crash recovery.  Returns whether a tear ran — false on
+	// backends with no real write path for a crash to land in.
+	TornWrite(id simnet.NodeID, rng *rand.Rand) bool
+	// PartialFsync crashes a node's store before its pending fsync and
+	// recovers without the unsynced tail; returns fragments lost.
+	PartialFsync(id simnet.NodeID) int
 }
 
 // DataFaultKind selects a data-plane fault behaviour.
@@ -42,6 +49,15 @@ const (
 	// DataWipe empties the targeted nodes' stores at Start — the
 	// correlated "AZ came back blank" disaster.
 	DataWipe
+	// DataTornWrite tears fragment writes mid-record: each tick, each
+	// targeted node suffers a power-cut-shaped crash during an append
+	// with probability Prob, followed by crash recovery.  Durable data
+	// must survive every one of them.
+	DataTornWrite
+	// DataPartialFsync crashes the targeted nodes' stores at Start,
+	// before their pending fsync — every record written since the last
+	// sync is lost.  The disaster that punishes group-commit windows.
+	DataPartialFsync
 )
 
 // DataFault schedules one data-plane fault.
@@ -91,6 +107,24 @@ func (p *Plan) ByzantineStore(nodes []simnet.NodeID, start, end time.Duration) *
 // DiskWipe empties the listed stores at the given time.
 func (p *Plan) DiskWipe(nodes []simnet.NodeID, at time.Duration) *Plan {
 	p.Data = append(p.Data, DataFault{Kind: DataWipe, Nodes: nodes, Start: at})
+	return p
+}
+
+// TornWrites schedules a torn-write drizzle: from start to end, every
+// `every`, each store node crashes mid-append with probability prob
+// and recovers.  Only bites on real-I/O backends.
+func (p *Plan) TornWrites(prob float64, every, start, end time.Duration) *Plan {
+	p.Data = append(p.Data, DataFault{
+		Kind: DataTornWrite, Prob: prob, Every: every, Start: start, End: end,
+	})
+	return p
+}
+
+// PartialFsyncAt crashes the listed stores at the given time, before
+// their pending fsync: unsynced records are lost.  Nil nodes hits
+// every store — the correlated power-loss disaster.
+func (p *Plan) PartialFsyncAt(nodes []simnet.NodeID, at time.Duration) *Plan {
+	p.Data = append(p.Data, DataFault{Kind: DataPartialFsync, Nodes: nodes, Start: at})
 	return p
 }
 
@@ -147,6 +181,19 @@ func (e *Engine) BindData(target DataTarget) {
 					e.DataHitNodes[nd] += n
 				}
 			})
+		case DataTornWrite:
+			e.scheduleTears(target, df)
+		case DataPartialFsync:
+			e.net.K.At(df.Start, func() {
+				if !e.armed {
+					return
+				}
+				for _, nd := range e.dataNodes(target, df) {
+					n := target.PartialFsync(nd)
+					e.DataHits += n
+					e.DataHitNodes[nd] += n
+				}
+			})
 		}
 	}
 }
@@ -170,6 +217,37 @@ func (e *Engine) scheduleRot(target DataTarget, df DataFault) {
 		for _, nd := range e.dataNodes(target, df) {
 			if df.Prob >= 1 || rng.Float64() < df.Prob {
 				if _, ok := target.CorruptRandom(nd, rng); ok {
+					e.DataHits++
+					e.DataHitNodes[nd]++
+				}
+			}
+		}
+		e.net.K.After(every, tick)
+	}
+	e.net.K.At(df.Start, tick)
+}
+
+// scheduleTears arms the recurring torn-write tick for one fault
+// entry, mirroring scheduleRot's shape (and its RNG discipline: draws
+// happen in sorted node order whether or not a tear lands).
+func (e *Engine) scheduleTears(target DataTarget, df DataFault) {
+	every := df.Every
+	if every <= 0 {
+		every = time.Minute
+	}
+	var tick func()
+	tick = func() {
+		if !e.armed {
+			return
+		}
+		now := e.net.K.Now()
+		if df.End > 0 && now >= df.End {
+			return
+		}
+		rng := e.net.K.Rand()
+		for _, nd := range e.dataNodes(target, df) {
+			if df.Prob >= 1 || rng.Float64() < df.Prob {
+				if target.TornWrite(nd, rng) {
 					e.DataHits++
 					e.DataHitNodes[nd]++
 				}
