@@ -8,9 +8,9 @@ PAR_PKGS = ./internal/par/ ./internal/erasure/ ./internal/archive/ \
 	./internal/merkle/ ./internal/bloom/ ./internal/fault/ ./internal/obs/ \
 	./internal/sim/ ./internal/simnet/
 
-.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 bench-mem bench-json-pr8 cover cover-write soak-smoke scenarios-smoke blobstore-smoke
+.PHONY: check vet vet-rand build test race race-par fuzz-corpora bench bench-smoke bench-json bench-gate bench-json-pr7 bench-gate-pr7 bench-mem bench-json-pr8 cover cover-write soak-smoke scenarios-smoke blobstore-smoke introspect-smoke
 
-check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke blobstore-smoke bench-gate-pr7 bench-mem
+check: vet vet-rand build race race-par fuzz-corpora bench-smoke cover soak-smoke scenarios-smoke blobstore-smoke introspect-smoke bench-gate-pr7 bench-mem
 
 vet:
 	$(GO) vet ./...
@@ -115,6 +115,33 @@ blobstore-smoke:
 		echo "blobstore-smoke: no real-I/O rail on stderr"; cat $$tmp/err1.txt; exit 1; fi; \
 	rm -rf $$tmp; \
 	echo "blobstore-smoke: 1k-node disk soak byte-identical at GOMAXPROCS 1 and 4 and to the mem backend"
+
+# Introspection determinism gate (PR 10): a 10k-node flash-crowd soak
+# with the replica controller on must emit byte-identical metrics and
+# summary at GOMAXPROCS 1 and 4 and at shards 1 vs the default
+# region-scaled sharding — the control loop's EWMA folds, sorted
+# candidate passes, and modeled read queues draw nothing from the
+# wall clock or scheduler interleaving.  The report must carry the
+# introspection and read-latency rails the flash ablation greps for.
+introspect-smoke:
+	@$(GO) build -o /tmp/osexp-smoke ./cmd/osexp; \
+	tmp=$$(mktemp -d); \
+	args="soak 1 -nodes 10000 -ops 20000 -introspect -flash 2m"; \
+	GOMAXPROCS=1 /tmp/osexp-smoke -metrics $$tmp/m1.txt $$args > $$tmp/out1.txt 2> /dev/null || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/m4.txt $$args > $$tmp/out4.txt 2> /dev/null || exit 1; \
+	GOMAXPROCS=4 /tmp/osexp-smoke -metrics $$tmp/ms1.txt $$args -shards 1 > $$tmp/outs1.txt 2> /dev/null || exit 1; \
+	if ! cmp -s $$tmp/m1.txt $$tmp/m4.txt; then echo "introspect-smoke: metrics differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/out1.txt $$tmp/out4.txt; then echo "introspect-smoke: summaries differ across GOMAXPROCS"; exit 1; fi; \
+	if ! cmp -s $$tmp/m4.txt $$tmp/ms1.txt; then echo "introspect-smoke: metrics differ across shard counts"; exit 1; fi; \
+	if ! cmp -s $$tmp/out4.txt $$tmp/outs1.txt; then echo "introspect-smoke: summaries differ across shard counts"; exit 1; fi; \
+	if ! grep -q '^introspect: ' $$tmp/out1.txt; then \
+		echo "introspect-smoke: no introspection rail in the report"; cat $$tmp/out1.txt; exit 1; fi; \
+	if ! grep -q '^read latency: ' $$tmp/out1.txt; then \
+		echo "introspect-smoke: no read-latency rail in the report"; cat $$tmp/out1.txt; exit 1; fi; \
+	if ! grep -q 'promotes' $$tmp/out1.txt; then \
+		echo "introspect-smoke: controller made no decisions"; cat $$tmp/out1.txt; exit 1; fi; \
+	rm -rf $$tmp; \
+	echo "introspect-smoke: 10k-node flash soak byte-identical at GOMAXPROCS 1 and 4 and at shards 1 vs default"
 
 # Adversarial gate: run the whole scenario catalogue — every defense
 # armed (invariants must hold) and switched off (invariants must

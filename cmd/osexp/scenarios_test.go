@@ -72,6 +72,17 @@ func TestSoakFlagParsing(t *testing.T) {
 			func() bool { return soakOpts.churn == 2*time.Minute && soakOpts.downFor == 30*time.Second }},
 		{"growth", []string{"-grow", "64", "-growat", "1m"},
 			func() bool { return soakOpts.grow == 64 && soakOpts.growAt == time.Minute }},
+		{"introspect", []string{"-introspect", "-readsvc", "5ms", "-secondaries", "8", "-iepoch", "2s"},
+			func() bool {
+				return soakOpts.introspect && soakOpts.readSvc == 5*time.Millisecond &&
+					soakOpts.secondaries == 8 && soakOpts.iepoch == 2*time.Second
+			}},
+		{"shape", []string{"-flash", "3m", "-flashmass", "0.8", "-flashobjs", "2", "-diurnal", "1h", "-hotrotate", "10m"},
+			func() bool {
+				return soakOpts.flash == 3*time.Minute && soakOpts.flashMass == 0.8 &&
+					soakOpts.flashObjs == 2 && soakOpts.diurnal == time.Hour &&
+					soakOpts.hotRotate == 10*time.Minute
+			}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -100,7 +111,7 @@ func TestScenariosReportShape(t *testing.T) {
 	for _, want := range []string{
 		"scenario bitrot-drizzle", "scenario byz-minority", "scenario partition-heal-storm",
 		"scenario az-loss", "scenario churn-during-audit", "scenario audit-amplification",
-		"scenario replica-tamper",
+		"scenario replica-tamper", "scenario flash-crowd",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
@@ -109,8 +120,8 @@ func TestScenariosReportShape(t *testing.T) {
 	if !strings.Contains(out, "invariant failures: 0") {
 		t.Errorf("report must end with a zero-failure summary; got:\n%s", out)
 	}
-	if got := strings.Count(out, "disarmed broke as expected"); got != 7 {
-		t.Errorf("want 7 disarmed-breakage lines, got %d", got)
+	if got := strings.Count(out, "disarmed broke as expected"); got != 8 {
+		t.Errorf("want 8 disarmed-breakage lines, got %d", got)
 	}
 }
 

@@ -19,40 +19,55 @@ import (
 //
 //	osexp -metrics soak.txt soak 1 -nodes 10000 -ops 1000000
 var soakOpts = struct {
-	nodes    int
-	ops      int
-	clients  int
-	objects  int
-	write    float64
-	create   float64
-	zipf     float64
-	size     int
-	think    time.Duration
-	open     bool
-	arrival  time.Duration
-	maxInfl  int
-	churn    time.Duration
-	downFor  time.Duration
-	grow     int
-	growAt   time.Duration
-	shards   int
-	backend  string
-	storeDir string
-	scrub    time.Duration
-	flush    time.Duration
+	nodes       int
+	ops         int
+	clients     int
+	objects     int
+	secondaries int
+	write       float64
+	create      float64
+	zipf        float64
+	size        int
+	think       time.Duration
+	open        bool
+	arrival     time.Duration
+	maxInfl     int
+	churn       time.Duration
+	downFor     time.Duration
+	grow        int
+	growAt      time.Duration
+	shards      int
+	backend     string
+	storeDir    string
+	scrub       time.Duration
+	flush       time.Duration
+	introspect  bool
+	iepoch      time.Duration
+	readSvc     time.Duration
+	flash       time.Duration
+	flashFor    time.Duration
+	flashMass   float64
+	flashObjs   int
+	diurnal     time.Duration
+	nightRate   float64
+	hotRotate   time.Duration
 }{
-	nodes:   256,
-	ops:     4000,
-	write:   0.3,
-	create:  0.01,
-	zipf:    1.1,
-	size:    256,
-	think:   200 * time.Millisecond,
-	arrival: 50 * time.Millisecond,
-	churn:   time.Minute,
-	downFor: 20 * time.Second,
-	backend: "mem",
-	scrub:   30 * time.Second,
+	nodes:     256,
+	ops:       4000,
+	write:     0.3,
+	create:    0.01,
+	zipf:      1.1,
+	size:      256,
+	think:     200 * time.Millisecond,
+	arrival:   50 * time.Millisecond,
+	churn:     time.Minute,
+	downFor:   20 * time.Second,
+	backend:   "mem",
+	scrub:     30 * time.Second,
+	flashFor:  2 * time.Minute,
+	flashMass: 0.9,
+	flashObjs: 4,
+	nightRate: 0.25,
 }
 
 // soakFlagSet builds the flag set parsed from the arguments after
@@ -64,6 +79,7 @@ func soakFlagSet() *flag.FlagSet {
 	fs.IntVar(&o.ops, "ops", o.ops, "total operation budget")
 	fs.IntVar(&o.clients, "clients", o.clients, "virtual clients (0 = scale with nodes)")
 	fs.IntVar(&o.objects, "objects", o.objects, "pre-created objects (0 = scale with nodes)")
+	fs.IntVar(&o.secondaries, "secondaries", o.secondaries, "static floating replicas per object (0 = default 4)")
 	fs.Float64Var(&o.write, "write", o.write, "write fraction of the mix")
 	fs.Float64Var(&o.create, "create", o.create, "create fraction of the mix")
 	fs.Float64Var(&o.zipf, "zipf", o.zipf, "Zipf skew for object popularity")
@@ -81,6 +97,16 @@ func soakFlagSet() *flag.FlagSet {
 	fs.StringVar(&o.storeDir, "storedir", o.storeDir, "volume directory for -backend disk (empty = fresh temp dir, removed after)")
 	fs.DurationVar(&o.scrub, "scrub", o.scrub, "archival scrub/repair scheduler tick (0 disables maintenance)")
 	fs.DurationVar(&o.flush, "flush", o.flush, "store fsync group-commit period (0 = fsync per batch)")
+	fs.BoolVar(&o.introspect, "introspect", o.introspect, "arm introspective replica management (promote/demote floating replicas on read heat)")
+	fs.DurationVar(&o.iepoch, "iepoch", o.iepoch, "introspection controller epoch (0 = default 10s); shorter reacts faster")
+	fs.DurationVar(&o.readSvc, "readsvc", o.readSvc, "modeled read service time per request (0 = auto: 2ms when -introspect or -flash, else synchronous reads; negative forces synchronous)")
+	fs.DurationVar(&o.flash, "flash", o.flash, "virtual time a flash crowd starts (0 disables)")
+	fs.DurationVar(&o.flashFor, "flashfor", o.flashFor, "flash crowd duration")
+	fs.Float64Var(&o.flashMass, "flashmass", o.flashMass, "fraction of draws the flash redirects onto the hot set")
+	fs.IntVar(&o.flashObjs, "flashobjs", o.flashObjs, "hot-set size the flash concentrates onto")
+	fs.DurationVar(&o.diurnal, "diurnal", o.diurnal, "diurnal period for arrival-intensity modulation (0 disables)")
+	fs.Float64Var(&o.nightRate, "nightrate", o.nightRate, "night-time arrival intensity relative to day")
+	fs.DurationVar(&o.hotRotate, "hotrotate", o.hotRotate, "hot-spot rotation period for the Zipf mapping (0 disables)")
 	return fs
 }
 
@@ -96,6 +122,9 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	if o.objects > 0 {
 		cfg.Objects = o.objects
 	}
+	if o.secondaries > 0 {
+		cfg.Secondaries = o.secondaries
+	}
 	if o.maxInfl > 0 {
 		cfg.MaxInFlight = o.maxInfl
 	}
@@ -105,6 +134,32 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	cfg.Backend = o.backend
 	cfg.ScrubInterval = o.scrub
 	cfg.FlushInterval = o.flush
+	cfg.Introspect = o.introspect
+	if o.iepoch > 0 {
+		cfg.IntrospectEpoch = o.iepoch
+	}
+	switch {
+	case o.readSvc > 0:
+		cfg.ReadService = o.readSvc
+	case o.readSvc == 0 && (o.introspect || o.flash > 0):
+		// Auto: the flash-crowd/introspection story needs reads with
+		// real service time, or there is no tail to bend.
+		cfg.ReadService = 2 * time.Millisecond
+	}
+	var shape workload.Shape
+	if o.diurnal > 0 {
+		shape.DiurnalPeriod = o.diurnal
+		shape.DiurnalNightRate = o.nightRate
+	}
+	if o.hotRotate > 0 {
+		shape.RotateEvery = o.hotRotate
+	}
+	if o.flash > 0 {
+		shape.FlashAt = o.flash
+		shape.FlashFor = o.flashFor
+		shape.FlashMass = o.flashMass
+		shape.FlashObjects = o.flashObjs
+	}
 	if o.backend == "disk" {
 		cfg.StoreDir = o.storeDir
 		if cfg.StoreDir == "" {
@@ -133,6 +188,7 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 		MeanThink:     o.think,
 		MeanArrival:   o.arrival,
 		RetryBackoff:  time.Second,
+		Shape:         shape,
 	}, world)
 	eng.Instrument(ob.registry())
 	if o.churn > 0 {
@@ -157,6 +213,10 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 	fmt.Fprintf(w, "latency: p50 %v  p99 %v  mean %v\n",
 		time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)),
 		time.Duration(lat.Mean()))
+	rl := eng.ReadLatency()
+	fmt.Fprintf(w, "read latency: p50 %v  p99 %v  p999 %v  mean %v (%d reads)\n",
+		time.Duration(rl.Quantile(0.5)), time.Duration(rl.Quantile(0.99)),
+		time.Duration(rl.Quantile(0.999)), time.Duration(rl.Mean()), rl.Count())
 	ns := world.Pool.Net.Stats()
 	fmt.Fprintf(w, "traffic: %d msgs, %.1f MB; drops: %d (crash %d, partition %d, loss %d)\n",
 		ns.MessagesSent, float64(ns.BytesSent)/1e6, ns.MessagesDropped,
@@ -169,6 +229,17 @@ func runSoak(w io.Writer, seed int64, ob *obsink) {
 		}
 	}
 	fmt.Fprintf(w, "committed updates across objects: %d\n", committed)
+	if ctrl := world.Controller(); ctrl != nil {
+		// Controller counters and the replica trajectory are pure
+		// functions of the trajectory, so this line rides the
+		// determinism comparisons.
+		cs := ctrl.Stats()
+		traj := ctrl.Trajectory()
+		fmt.Fprintf(w, "introspect: %d epochs, %d promotes, %d demotes, %d denied; replicas now %d (epoch min %d max %d); read wire %.1f MB\n",
+			cs.Epochs, cs.Promotes, cs.Demotes, cs.Denied,
+			ctrl.TierSize(), traj.Min(), traj.Max(),
+			float64(world.ReadWireBytes())/1e6)
+	}
 	if sc := world.Scheduler(); sc != nil {
 		// Scheduler counters are pure functions of the trajectory, so
 		// this line rides the determinism comparisons like the rest of

@@ -11,6 +11,7 @@ import (
 	"oceanstore/internal/crypt"
 	"oceanstore/internal/epidemic"
 	"oceanstore/internal/guid"
+	"oceanstore/internal/introspect"
 	"oceanstore/internal/object"
 	"oceanstore/internal/obs"
 	"oceanstore/internal/replica"
@@ -72,6 +73,27 @@ type SoakConfig struct {
 	// FlushInterval moves store fsync from per-batch to a scheduler
 	// group commit on this period (needs ScrubInterval > 0).
 	FlushInterval time.Duration
+	// ReadService arms the modeled read path when positive: each read
+	// picks its server queue-aware (among qualifying floating replicas
+	// plus the primary anchor), occupies that node for ReadService in a
+	// per-node FIFO, and completes one round trip later through the
+	// kernel — so read latency is a real queueing quantity that degrades
+	// when few replicas absorb a flash crowd.  0 keeps the legacy
+	// synchronous (zero-latency) read.
+	ReadService time.Duration
+	// Introspect arms the introspective replica controller (§4.7.2): it
+	// watches per-object read/write traffic and promotes/demotes
+	// floating replicas under hysteresis, budgets, and rate limits.
+	Introspect bool
+	// IntrospectEpoch is the controller's observation epoch (default
+	// 10s).
+	IntrospectEpoch time.Duration
+	// NodeBudget caps how many floating replicas introspective
+	// promotion may place on one node (default 8).  Static placement
+	// (Secondaries) is the operator's choice and is not bounded by it.
+	NodeBudget int
+	// IntrospectCfg tunes the controller; zero fields take defaults.
+	IntrospectCfg introspect.ControllerConfig
 	// Link model.
 	Extent         float64
 	Domains        int
@@ -98,24 +120,26 @@ func DefaultSoakConfig(nodes int) SoakConfig {
 		return v
 	}
 	return SoakConfig{
-		Nodes:          nodes,
-		Objects:        clamp(nodes/16, 4, 4096),
-		Secondaries:    4,
-		Clients:        clamp(nodes/32, 4, 1024),
-		Faults:         1,
-		BlockSize:      512,
-		MaxInFlight:    clamp(nodes/32, 8, 1024),
-		WriteTimeout:   2 * time.Minute,
-		ArchiveEvery:   256,
-		GossipInterval: 30 * time.Second,
-		RetainVersions: 8,
-		RetireEvery:    5 * time.Minute,
-		Guarantees:     ReadYourWrites,
-		Extent:         100,
-		Domains:        8,
-		BaseLatency:    15 * time.Millisecond,
-		LatencyPerUnit: time.Millisecond,
-		Shards:         clamp(nodes/16384, 1, 8),
+		Nodes:           nodes,
+		Objects:         clamp(nodes/16, 4, 4096),
+		Secondaries:     4,
+		Clients:         clamp(nodes/32, 4, 1024),
+		Faults:          1,
+		BlockSize:       512,
+		MaxInFlight:     clamp(nodes/32, 8, 1024),
+		WriteTimeout:    2 * time.Minute,
+		ArchiveEvery:    256,
+		GossipInterval:  30 * time.Second,
+		RetainVersions:  8,
+		RetireEvery:     5 * time.Minute,
+		Guarantees:      ReadYourWrites,
+		IntrospectEpoch: 10 * time.Second,
+		NodeBudget:      8,
+		Extent:          100,
+		Domains:         8,
+		BaseLatency:     15 * time.Millisecond,
+		LatencyPerUnit:  time.Millisecond,
+		Shards:          clamp(nodes/16384, 1, 8),
 	}
 }
 
@@ -143,6 +167,19 @@ type SoakWorld struct {
 	nextSecondary int
 	growIdx       int
 	created       int
+
+	// Modeled read path (ReadService > 0): per-node service-queue
+	// tails, grown on demand as the world grows.
+	busy []time.Duration
+	// hosted counts floating replicas per node — the budget the
+	// introspective promoter must respect.
+	hosted []int
+	// ctrl is the introspective replica controller (nil when off).
+	ctrl *introspect.Controller
+	// readWire accounts bytes-on-wire for modeled reads (request +
+	// response), collected even without a registry.
+	readWire  int64
+	cReadWire *obs.Counter
 
 	// sched is the archival maintenance scheduler (nil when off).
 	sched     *archive.Scheduler
@@ -271,19 +308,40 @@ func NewSoakWorld(seed int64, cfg SoakConfig) (*SoakWorld, error) {
 		})
 		w.schedStop = w.sched.Start()
 	}
+	if cfg.Introspect {
+		w.ctrl = introspect.NewController(cfg.IntrospectCfg, soakHost{w})
+		epoch := cfg.IntrospectEpoch
+		if epoch <= 0 {
+			epoch = 10 * time.Second
+		}
+		p.K.Every(epoch, w.ctrl.Tick)
+	}
 	return w, nil
 }
+
+// Controller exposes the introspective replica controller (nil when
+// the world runs without one).
+func (w *SoakWorld) Controller() *introspect.Controller { return w.ctrl }
+
+// ReadWireBytes reports the bytes-on-wire the modeled read path has
+// accounted (0 with ReadService off).
+func (w *SoakWorld) ReadWireBytes() int64 { return w.readWire }
 
 // Scheduler exposes the archival maintenance scheduler (nil when the
 // world runs without one).
 func (w *SoakWorld) Scheduler() *archive.Scheduler { return w.sched }
 
-// Instrument attaches observability to the pool and the maintenance
-// scheduler.
+// Instrument attaches observability to the pool, the maintenance
+// scheduler, and the introspection layer.
 func (w *SoakWorld) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	w.Pool.Instrument(reg, tr)
 	if w.sched != nil {
 		w.sched.Instrument(reg)
+	}
+	w.cReadWire = reg.Counter(obs.NodeWide, "introspect", "read_wire_bytes")
+	w.cReadWire.Add(w.readWire)
+	if w.ctrl != nil {
+		w.ctrl.Instrument(reg)
 	}
 }
 
@@ -363,7 +421,26 @@ func (w *SoakWorld) addSecondary(obj guid.GUID, node simnet.NodeID) {
 	}
 	// AddReplica only errors on unknown objects or duplicate
 	// secondaries, both excluded above.
-	_ = w.Pool.AddReplica(obj, node)
+	if w.Pool.AddReplica(obj, node) == nil {
+		w.hostedAdd(node, 1)
+	}
+}
+
+// hostedAdd adjusts the per-node floating-replica census, growing the
+// slice on demand (the world can grow mid-run).
+func (w *SoakWorld) hostedAdd(node simnet.NodeID, d int) {
+	for int(node) >= len(w.hosted) {
+		w.hosted = append(w.hosted, 0)
+	}
+	w.hosted[node] += d
+}
+
+// HostedAt reports how many floating replicas node currently hosts.
+func (w *SoakWorld) HostedAt(node simnet.NodeID) int {
+	if int(node) >= len(w.hosted) {
+		return 0
+	}
+	return w.hosted[node]
 }
 
 // nextSecondaryNode rotates replica placement over live nodes.
@@ -377,6 +454,89 @@ func (w *SoakWorld) nextSecondaryNode() simnet.NodeID {
 		}
 	}
 	return 0
+}
+
+// soakHost adapts the world to the controller's Host interface: the
+// controller picks WHICH objects change tier; the world places the
+// replicas and owns the per-node budget.
+type soakHost struct{ w *SoakWorld }
+
+func (h soakHost) NumObjects() int { return len(h.w.objects) }
+
+func (h soakHost) Replicas(obj int) int {
+	if obj < 0 || obj >= len(h.w.objects) {
+		return 0
+	}
+	ring, ok := h.w.Pool.Ring(h.w.objects[obj])
+	if !ok {
+		return 0
+	}
+	return ring.SecondaryCount()
+}
+
+// Promote places one more floating replica of the object, rotating
+// over live nodes with spare budget; false when every node is down,
+// already a replica, or at its cap — the controller counts that as a
+// budget denial.
+func (h soakHost) Promote(obj int) bool {
+	w := h.w
+	if obj < 0 || obj >= len(w.objects) {
+		return false
+	}
+	oid := w.objects[obj]
+	ring, ok := w.Pool.Ring(oid)
+	if !ok {
+		return false
+	}
+	n := w.Pool.Net.Len()
+	for tries := 0; tries < n; tries++ {
+		id := simnet.NodeID(w.nextSecondary % n)
+		w.nextSecondary++
+		if w.Pool.Net.Node(id).Down() {
+			continue
+		}
+		if _, dup := ring.Secondary(id); dup {
+			continue
+		}
+		if w.cfg.NodeBudget > 0 && w.HostedAt(id) >= w.cfg.NodeBudget {
+			continue
+		}
+		if w.Pool.AddReplica(oid, id) == nil {
+			w.hostedAdd(id, 1)
+			return true
+		}
+	}
+	return false
+}
+
+// Demote retires the coldest floating replica (fewest serves, ties to
+// the lower node — Secondaries is node-sorted, so the choice is
+// deterministic).
+func (h soakHost) Demote(obj int) bool {
+	w := h.w
+	if obj < 0 || obj >= len(w.objects) {
+		return false
+	}
+	oid := w.objects[obj]
+	ring, ok := w.Pool.Ring(oid)
+	if !ok {
+		return false
+	}
+	secs := ring.Secondaries()
+	if len(secs) == 0 {
+		return false
+	}
+	victim := secs[0]
+	for _, s := range secs[1:] {
+		if s.Reads < victim.Reads {
+			victim = s
+		}
+	}
+	if w.Pool.RemoveReplica(oid, victim.Node) != nil {
+		return false
+	}
+	w.hostedAdd(victim.Node, -1)
+	return true
 }
 
 // Do implements workload.Target.  Reads and creates complete
@@ -396,7 +556,11 @@ func (w *SoakWorld) Do(req workload.Request, done func(ok bool)) error {
 		if w.cfg.MaxInFlight > 0 && w.inflight >= w.cfg.MaxInFlight {
 			return workload.ErrOverloaded
 		}
-		obj := w.objects[req.Object%len(w.objects)]
+		idx := req.Object % len(w.objects)
+		obj := w.objects[idx]
+		if w.ctrl != nil {
+			w.ctrl.ObserveWrite(idx)
+		}
 		size := req.Size
 		if size > w.cfg.BlockSize {
 			size = w.cfg.BlockSize
@@ -412,11 +576,105 @@ func (w *SoakWorld) Do(req workload.Request, done func(ok bool)) error {
 		w.await[id] = done
 		w.inflight++
 	default: // OpRead
-		obj := w.objects[req.Object%len(w.objects)]
-		_, err := s.Read(obj)
-		done(err == nil)
+		idx := req.Object % len(w.objects)
+		obj := w.objects[idx]
+		if w.ctrl != nil {
+			w.ctrl.ObserveRead(idx)
+		}
+		if w.cfg.ReadService <= 0 {
+			_, err := s.Read(obj)
+			done(err == nil)
+			return nil
+		}
+		w.modeledRead(s, obj, done)
 	}
 	return nil
+}
+
+// readWireOverhead is the per-direction framing cost the modeled read
+// charges on top of the payload.
+const readWireOverhead = 64
+
+// modeledRead serves a read with explicit service-time and queueing
+// semantics: among the qualifying floating replicas (plus the primary
+// anchor, which always qualifies) it picks the server whose predicted
+// completion — request latency, FIFO queue wait, ReadService, response
+// latency — is earliest, ties to the lower node ID; occupies that
+// server; and completes the read through the kernel one round trip
+// later.  With a handful of replicas absorbing a flash crowd the queue
+// wait dominates and the read tail explodes — exactly the signal the
+// introspective controller reacts to by promoting.
+func (w *SoakWorld) modeledRead(s *Session, obj guid.GUID, done func(ok bool)) {
+	ring, ok := w.Pool.Ring(obj)
+	if !ok {
+		done(false)
+		return
+	}
+	now := w.Pool.K.Now()
+	client := s.c.Node
+	var (
+		bestNode simnet.NodeID
+		bestRep  *epidemic.Replica
+		bestSec  *replica.Secondary
+		bestDone time.Duration = -1
+	)
+	consider := func(node simnet.NodeID, rep *epidemic.Replica, sec *replica.Secondary) {
+		lat := w.Pool.Net.Latency(client, node)
+		start := now + lat
+		if b := w.busyAt(node); b > start {
+			start = b
+		}
+		finish := start + w.cfg.ReadService + lat
+		if bestDone < 0 || finish < bestDone || (finish == bestDone && node < bestNode) {
+			bestNode, bestRep, bestSec, bestDone = node, rep, sec, finish
+		}
+	}
+	if s.g&ReadCommitted == 0 {
+		for _, sec := range ring.Secondaries() {
+			if sec.Stale || w.Pool.Net.Node(sec.Node).Down() {
+				continue
+			}
+			if !s.acceptable(obj, sec.Rep) {
+				continue
+			}
+			consider(sec.Node, sec.Rep, sec)
+		}
+	}
+	consider(ring.PrimaryAnchor(), ring.PrimaryState(), nil)
+	// Occupy the chosen server's FIFO slot and charge the wire.
+	start := now + w.Pool.Net.Latency(client, bestNode)
+	if b := w.busyAt(bestNode); b > start {
+		start = b
+	}
+	w.setBusy(bestNode, start+w.cfg.ReadService)
+	if bestSec != nil {
+		bestSec.Reads++
+	}
+	wire := int64(2*readWireOverhead + w.cfg.BlockSize)
+	w.readWire += wire
+	w.cReadWire.Add(wire)
+	rep := bestRep
+	w.Pool.K.After(bestDone-now, func() {
+		_, err := s.ReadReplica(obj, rep)
+		done(err == nil)
+	})
+}
+
+// busyAt reports the node's service-queue tail.
+func (w *SoakWorld) busyAt(node simnet.NodeID) time.Duration {
+	if int(node) >= len(w.busy) {
+		return 0
+	}
+	return w.busy[node]
+}
+
+// setBusy extends the node's service-queue tail, growing the slice on
+// demand.
+func (w *SoakWorld) setBusy(node simnet.NodeID, t time.Duration) {
+	for int(node) >= len(w.busy) {
+		w.busy = append(w.busy, 0)
+	}
+	w.busy[node] = t
 }
 
 // resolve completes an awaited write (commit, abort, or timeout).

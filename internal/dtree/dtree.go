@@ -202,6 +202,12 @@ func (t *Tree) hook(id simnet.NodeID) {
 }
 
 func (t *Tree) handle(id simnet.NodeID, msg simnet.Message) {
+	if _, ok := t.m[id]; !ok {
+		// Stale delivery: the node left the tree after this message was
+		// sent (replica management retires members while updates are in
+		// flight).  Departed members neither apply nor forward.
+		return
+	}
 	switch msg.Kind {
 	case KindUpdate:
 		d, ok := msg.Payload.(Delivery)
@@ -316,6 +322,8 @@ func (t *Tree) Leave(id simnet.NodeID) error {
 	}
 	orphans := mb.children
 	delete(t.m, id)
+	// A pull the node had in flight must not resurrect it on reply.
+	delete(t.pullWait, id)
 	for _, c := range orphans {
 		t.reattach(c)
 	}

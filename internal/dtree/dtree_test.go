@@ -186,6 +186,52 @@ func TestLeaveReattachesChildren(t *testing.T) {
 	}
 }
 
+// TestLeaveWithUpdateInFlight: replica management retires members
+// while pushes are still on the wire.  A departed member must drop the
+// stale delivery — not apply it, not forward it, and above all not
+// crash on its deleted membership record.
+func TestLeaveWithUpdateInFlight(t *testing.T) {
+	k, _, tr := build(t, 30, 2, 8)
+	got := map[simnet.NodeID]bool{}
+	tr.OnDeliver(func(n simnet.NodeID, d Delivery) { got[n] = true })
+	// Find a child of the root that itself has children: Push sends to
+	// root children synchronously, so retiring one right after Push
+	// guarantees a stale in-flight delivery, and its deleted member
+	// record is what forward() would chase.
+	var inner simnet.NodeID = -1
+	for i := 1; i < 30 && inner < 0; i++ {
+		if p, _ := tr.Parent(simnet.NodeID(i)); p != 0 {
+			continue
+		}
+		for j := 1; j < 30; j++ {
+			if p, _ := tr.Parent(simnet.NodeID(j)); p == simnet.NodeID(i) {
+				inner = simnet.NodeID(i)
+				break
+			}
+		}
+	}
+	if inner < 0 {
+		t.Fatal("no root child with children")
+	}
+	tr.Push("mid-flight", 1024)
+	// The push's messages are queued but undelivered; retire the inner
+	// node now, exactly what introspective demotion does under load.
+	if err := tr.Leave(inner); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(time.Minute)
+	if got[inner] {
+		t.Fatal("departed member applied a stale delivery")
+	}
+	// Its reattached children still hear subsequent pushes.
+	got = map[simnet.NodeID]bool{}
+	tr.Push("after", 1024)
+	k.RunFor(time.Minute)
+	if len(got) != 29 {
+		t.Fatalf("second push reached %d/29", len(got))
+	}
+}
+
 func TestRepairAfterParentCrash(t *testing.T) {
 	k, net, tr := build(t, 30, 2, 6)
 	// Crash a third of the inner nodes.

@@ -169,6 +169,22 @@ func (h *Histogram) Sum() int64 {
 	return h.sum
 }
 
+// Min returns the exact smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
 // Mean returns the exact integer mean (0 when empty).
 func (h *Histogram) Mean() int64 {
 	if h == nil || h.count == 0 {

@@ -84,6 +84,25 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramMinMax: the exact extrema accessors, including the
+// nil-receiver and empty cases the nil-safe handle pattern relies on.
+func TestHistogramMinMax(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Fatalf("nil histogram extrema: min=%d max=%d", nilH.Min(), nilH.Max())
+	}
+	var h Histogram
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram extrema: min=%d max=%d", h.Min(), h.Max())
+	}
+	for _, v := range []int64{42, 7, 1000, 7, 99} {
+		h.Observe(v)
+	}
+	if h.Min() != 7 || h.Max() != 1000 {
+		t.Fatalf("extrema = %d/%d, want 7/1000", h.Min(), h.Max())
+	}
+}
+
 func TestHistogramMergeEqualsCombinedObservations(t *testing.T) {
 	var a, b, all Histogram
 	for i := int64(0); i < 50; i++ {

@@ -218,6 +218,15 @@ func (r *Ring) PrimaryNodes() []simnet.NodeID {
 	return append([]simnet.NodeID(nil), r.primaryNodes...)
 }
 
+// PrimaryAnchor returns the first primary-tier member — the node reads
+// fall back to when no floating replica qualifies, without the copy
+// PrimaryNodes pays.
+func (r *Ring) PrimaryAnchor() simnet.NodeID { return r.primaryNodes[0] }
+
+// SecondaryCount reports the number of floating replicas without
+// materialising the sorted Secondaries slice.
+func (r *Ring) SecondaryCount() int { return len(r.secondaries) }
+
 // Tree exposes the dissemination tree.
 func (r *Ring) Tree() *dtree.Tree { return r.tree }
 

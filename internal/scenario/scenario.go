@@ -125,6 +125,12 @@ func Catalogue() []Scenario {
 			Defense: "replica auditor (committed-state digest sampling)",
 			Run:     runReplicaTamper,
 		},
+		{
+			Name:    "flash-crowd",
+			Desc:    "ninety percent of reads slam one object and saturate its static replicas",
+			Defense: "introspection (read-heat promotion of floating replicas)",
+			Run:     runFlashCrowd,
+		},
 	}
 }
 

@@ -115,6 +115,10 @@ type EngineConfig struct {
 	// consumes one op from the budget, so sustained overload still
 	// terminates.
 	RetryBackoff time.Duration
+	// Shape bends the steady-state traffic in virtual time: diurnal
+	// intensity swings, hot-spot rotation, flash crowds.  The zero
+	// Shape reproduces the unshaped engine draw for draw.
+	Shape Shape
 }
 
 // EngineStats is a snapshot of the engine's counters.
@@ -144,11 +148,19 @@ type Engine struct {
 	// Virtual-time latency per resolved op; always collected so the
 	// summary can report quantiles without a registry attached.
 	latency *obs.Histogram
+	// readLat isolates read completions — the tail the replica
+	// controller is judged on.
+	readLat *obs.Histogram
+
+	// tap, when attached, observes every resolved operation (the
+	// introspection layer's direct feed).  Observation only: a tap
+	// must not draw randomness or touch the engine.
+	tap func(req Request, lat time.Duration, ok bool)
 
 	// Registry handles, nil (no-op) until Instrument.
 	cIssued, cOK, cFailed, cShed, cRetries, cCreates *obs.Counter
 	gObjects                                         *obs.Gauge
-	hLat                                             *obs.Histogram
+	hLat, hReadLat                                   *obs.Histogram
 }
 
 // NewEngine builds an engine.  The kernel's RNG drives every draw.
@@ -171,6 +183,7 @@ func NewEngine(k *sim.Kernel, cfg EngineConfig, t Target) *Engine {
 		z:       NewZipf(cfg.Objects+cfg.Ops+1, cfg.ZipfS, k.Rand()),
 		seqs:    make([]uint64, cfg.Clients),
 		latency: new(obs.Histogram),
+		readLat: new(obs.Histogram),
 	}
 	e.stats.Confirmed = cfg.Objects
 	return e
@@ -184,7 +197,7 @@ func (e *Engine) Start() {
 	if e.cfg.ClosedLoop {
 		for c := 0; c < e.cfg.Clients; c++ {
 			c := c
-			e.k.After(e.expDur(e.cfg.MeanThink), func() { e.issue(c) })
+			e.k.After(e.pacedDur(e.cfg.MeanThink), func() { e.issue(c) })
 		}
 		return
 	}
@@ -200,6 +213,17 @@ func (e *Engine) Stats() EngineStats { return e.stats }
 
 // Latency exposes the engine's virtual-time op-latency histogram.
 func (e *Engine) Latency() *obs.Histogram { return e.latency }
+
+// ReadLatency exposes the read-only slice of the latency stream — the
+// p50/p99/p999 figures introspective replica management is judged on.
+func (e *Engine) ReadLatency() *obs.Histogram { return e.readLat }
+
+// Tap attaches an observer called once per resolved operation with the
+// request, its virtual-time latency, and its outcome — the direct feed
+// the introspection layer consumes.  Passing nil detaches.  A tap is
+// observation only: attaching one never changes the engine's RNG
+// stream, accounting, or latency histograms.
+func (e *Engine) Tap(fn func(req Request, lat time.Duration, ok bool)) { e.tap = fn }
 
 // Instrument registers the engine's counters and latency histogram
 // under layer "workload" on reg.  Values accumulated before the call
@@ -223,6 +247,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.gObjects.Set(float64(e.stats.Confirmed))
 	e.hLat = reg.Histogram(obs.NodeWide, layer, "op_latency_ns")
 	e.hLat.Merge(e.latency)
+	e.hReadLat = reg.Histogram(obs.NodeWide, layer, "read_latency_ns")
+	e.hReadLat.Merge(e.readLat)
 }
 
 // expDur draws an exponential duration with the given mean (zero mean
@@ -232,6 +258,35 @@ func (e *Engine) expDur(mean time.Duration) time.Duration {
 		return 0
 	}
 	return time.Duration(e.k.Rand().ExpFloat64() * float64(mean))
+}
+
+// pacedDur is expDur under the shape's diurnal schedule: at night the
+// mean gap stretches by 1/DiurnalNightRate, thinning arrivals.  The
+// day-time (and unshaped) path divides by exactly 1, so legacy runs
+// see identical draws.
+func (e *Engine) pacedDur(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	if rate := e.cfg.Shape.RateAt(e.k.Now()); rate != 1 {
+		mean = time.Duration(float64(mean) / rate)
+	}
+	return e.expDur(mean)
+}
+
+// drawObject samples one target index from the confirmed universe and
+// folds in the shape's hot-spot rotation and flash redirect.  The
+// flash coin is drawn only while the flash is active, so an idle shape
+// leaves the RNG stream untouched.
+func (e *Engine) drawObject() int {
+	base := e.z.Next() % e.stats.Confirmed
+	sh := e.cfg.Shape
+	now := e.k.Now()
+	u := 1.0 // never redirects
+	if sh.NeedsFlashCoin(now) {
+		u = e.k.Rand().Float64()
+	}
+	return sh.MapObject(base, e.stats.Confirmed, now, u)
 }
 
 // remaining reports how many ops have not yet been charged against
@@ -255,11 +310,11 @@ func (e *Engine) draw(c int) Request {
 		r.Size = 1 + int(e.k.Rand().ExpFloat64()*float64(e.cfg.MeanWriteSize))
 	case u < e.cfg.Mix.CreateFrac+e.cfg.Mix.WriteFrac:
 		r.Kind = OpWrite
-		r.Object = e.z.Next() % e.stats.Confirmed
+		r.Object = e.drawObject()
 		r.Size = 1 + int(e.k.Rand().ExpFloat64()*float64(e.cfg.MeanWriteSize))
 	default:
 		r.Kind = OpRead
-		r.Object = e.z.Next() % e.stats.Confirmed
+		r.Object = e.drawObject()
 	}
 	return r
 }
@@ -315,7 +370,7 @@ func (e *Engine) issue(c int) {
 			e.stats.Failed++
 			e.cFailed.Inc()
 			if e.cfg.ClosedLoop {
-				e.k.After(e.expDur(e.cfg.MeanThink), func() { e.issue(c) })
+				e.k.After(e.pacedDur(e.cfg.MeanThink), func() { e.issue(c) })
 			}
 			e.finishIfDrained()
 		}
@@ -346,8 +401,15 @@ func (e *Engine) complete(c int, req Request, start time.Duration, ok bool) {
 	lat := int64(e.k.Now() - start)
 	e.latency.Observe(lat)
 	e.hLat.Observe(lat)
+	if req.Kind == OpRead {
+		e.readLat.Observe(lat)
+		e.hReadLat.Observe(lat)
+	}
+	if e.tap != nil {
+		e.tap(req, time.Duration(lat), ok)
+	}
 	if e.cfg.ClosedLoop {
-		e.k.After(e.expDur(e.cfg.MeanThink), func() { e.issue(c) })
+		e.k.After(e.pacedDur(e.cfg.MeanThink), func() { e.issue(c) })
 	}
 	e.finishIfDrained()
 }
@@ -358,7 +420,7 @@ func (e *Engine) scheduleArrival(c int) {
 	if e.remaining() <= 0 {
 		return
 	}
-	e.k.After(e.expDur(e.cfg.MeanArrival), func() {
+	e.k.After(e.pacedDur(e.cfg.MeanArrival), func() {
 		e.issue(c % e.cfg.Clients)
 		e.scheduleArrival(c + 1)
 	})

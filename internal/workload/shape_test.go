@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"oceanstore/internal/obs"
+	"oceanstore/internal/sim"
+)
+
+// TestShapeRateAtExact: the diurnal step lands precisely at the
+// configured daylight fraction of each period, in virtual time.
+func TestShapeRateAtExact(t *testing.T) {
+	s := Shape{DiurnalPeriod: time.Hour, DiurnalDayFrac: 0.25, DiurnalNightRate: 0.1}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 1},
+		{15*time.Minute - time.Nanosecond, 1},
+		{15 * time.Minute, 0.1},
+		{time.Hour - time.Nanosecond, 0.1},
+		{time.Hour, 1},
+		{time.Hour + 14*time.Minute, 1},
+		{2*time.Hour + 30*time.Minute, 0.1},
+	}
+	for _, c := range cases {
+		if got := s.RateAt(c.t); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	var zero Shape
+	if zero.RateAt(37*time.Minute) != 1 {
+		t.Error("zero Shape must not modulate rate")
+	}
+}
+
+// TestShapeRotationAt: the hot-spot offset advances by the stride once
+// per period, exactly on the period boundary.
+func TestShapeRotationAt(t *testing.T) {
+	s := Shape{RotateEvery: 10 * time.Minute, RotateStride: 3}
+	cases := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 0},
+		{10*time.Minute - time.Nanosecond, 0},
+		{10 * time.Minute, 3},
+		{25 * time.Minute, 6},
+		{60 * time.Minute, 18},
+	}
+	for _, c := range cases {
+		if got := s.RotationAt(c.t); got != c.want {
+			t.Errorf("RotationAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// Default stride is one.
+	d := Shape{RotateEvery: time.Minute}
+	if got := d.RotationAt(5 * time.Minute); got != 5 {
+		t.Errorf("default stride: RotationAt = %d, want 5", got)
+	}
+}
+
+// TestShapeFlashWindow: the flash is a half-open step in virtual time.
+func TestShapeFlashWindow(t *testing.T) {
+	s := Shape{FlashAt: time.Minute, FlashFor: 30 * time.Second, FlashMass: 0.9}
+	for _, at := range []time.Duration{0, time.Minute - time.Nanosecond, 90 * time.Second} {
+		if s.FlashActive(at) {
+			t.Errorf("flash active at %v, want inactive", at)
+		}
+		if s.NeedsFlashCoin(at) {
+			t.Errorf("coin consumed at %v outside the flash", at)
+		}
+	}
+	for _, at := range []time.Duration{time.Minute, 90*time.Second - time.Nanosecond} {
+		if !s.FlashActive(at) {
+			t.Errorf("flash inactive at %v, want active", at)
+		}
+		if !s.NeedsFlashCoin(at) {
+			t.Errorf("no coin at %v inside the flash", at)
+		}
+	}
+	// Zero mass never needs the coin even while active.
+	nm := Shape{FlashAt: 0, FlashFor: time.Minute}
+	if nm.NeedsFlashCoin(time.Second) {
+		t.Error("zero-mass flash must not consume randomness")
+	}
+}
+
+// TestShapeFlashSetClamped: the hot set clamps into the universe.
+func TestShapeFlashSetClamped(t *testing.T) {
+	cases := []struct {
+		shape       Shape
+		n           int
+		first, size int
+	}{
+		{Shape{FlashObjects: 4, FlashFirst: 2}, 100, 2, 4},
+		{Shape{FlashObjects: 4, FlashFirst: 98}, 100, 98, 2},
+		{Shape{FlashObjects: 200}, 100, 0, 100},
+		{Shape{FlashObjects: 4, FlashFirst: 150}, 100, 0, 4},
+		{Shape{FlashObjects: 0}, 100, 0, 1},
+		{Shape{FlashObjects: 4, FlashFirst: -2}, 100, 0, 4},
+	}
+	for i, c := range cases {
+		first, size := c.shape.FlashSet(c.n)
+		if first != c.first || size != c.size {
+			t.Errorf("case %d: FlashSet = (%d,%d), want (%d,%d)", i, first, size, c.first, c.size)
+		}
+	}
+}
+
+// TestShapeMapObject: rotation shifts, flash redirects under the coin,
+// and the zero Shape is the identity.
+func TestShapeMapObject(t *testing.T) {
+	var zero Shape
+	if got := zero.MapObject(7, 16, time.Hour, 0); got != 7 {
+		t.Errorf("zero Shape mapped 7 -> %d", got)
+	}
+	rot := Shape{RotateEvery: time.Minute}
+	if got := rot.MapObject(7, 16, 3*time.Minute, 1); got != 10 {
+		t.Errorf("rotation mapped 7 -> %d, want 10", got)
+	}
+	if got := rot.MapObject(15, 16, 3*time.Minute, 1); got != 2 {
+		t.Errorf("rotation must wrap: 15 -> %d, want 2", got)
+	}
+	fl := Shape{FlashAt: 0, FlashFor: time.Minute, FlashMass: 0.5, FlashObjects: 2, FlashFirst: 4}
+	if got := fl.MapObject(7, 16, time.Second, 0.4); got != 5 {
+		t.Errorf("flash redirect mapped 7 -> %d, want 5 (4 + 7 mod 2)", got)
+	}
+	if got := fl.MapObject(7, 16, time.Second, 0.6); got != 7 {
+		t.Errorf("coin above mass must not redirect: 7 -> %d", got)
+	}
+	if got := fl.MapObject(7, 16, 2*time.Minute, 0); got != 7 {
+		t.Errorf("flash over: 7 -> %d, want 7", got)
+	}
+}
+
+// TestEngineZeroShapeIdentical: attaching a zero Shape changes nothing —
+// same request trace, same stats — so every legacy configuration
+// reproduces byte for byte.
+func TestEngineZeroShapeIdentical(t *testing.T) {
+	ft1 := &fakeTarget{delay: 30 * time.Millisecond}
+	_, st1 := runEngine(t, 11, baseConfig(), ft1)
+	cfg := baseConfig()
+	cfg.Shape = Shape{} // explicit zero
+	ft2 := &fakeTarget{delay: 30 * time.Millisecond}
+	_, st2 := runEngine(t, 11, cfg, ft2)
+	if st1 != st2 {
+		t.Fatalf("zero Shape changed stats:\n%+v\n%+v", st1, st2)
+	}
+	if ft1.trace() != ft2.trace() {
+		t.Fatal("zero Shape changed the request trace")
+	}
+}
+
+// runTapped drives an engine with a tap that reports each resolved
+// request and the virtual time it was ISSUED (completion time minus
+// latency), for classifying ops against the shape's schedule.
+func runTapped(t *testing.T, seed int64, cfg EngineConfig, ft *fakeTarget, tap func(req Request, issuedAt time.Duration)) *Engine {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	ft.k = k
+	e := NewEngine(k, cfg, ft)
+	e.Tap(func(req Request, lat time.Duration, ok bool) {
+		tap(req, k.Now()-lat)
+	})
+	e.Start()
+	k.RunWhile(func() bool { return !e.Done() })
+	if !e.Done() {
+		t.Fatalf("engine never drained: %+v", e.Stats())
+	}
+	return e
+}
+
+// TestEngineDiurnalThinsArrivals: with a diurnal shape, ops issued
+// during the night phase fall well below the day count over equal
+// spans.
+func TestEngineDiurnalThinsArrivals(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ops = 4000
+	cfg.Mix = Mix{} // reads only: completions are prompt
+	cfg.MeanThink = 50 * time.Millisecond
+	cfg.Shape = Shape{
+		DiurnalPeriod:    20 * time.Second,
+		DiurnalDayFrac:   0.5,
+		DiurnalNightRate: 0.25,
+	}
+	ft := &fakeTarget{delay: time.Millisecond}
+	day, night := 0, 0
+	runTapped(t, 3, cfg, ft, func(_ Request, at time.Duration) {
+		if cfg.Shape.RateAt(at) == 1 {
+			day++
+		} else {
+			night++
+		}
+	})
+	if day == 0 || night == 0 {
+		t.Fatalf("want issues in both phases, got day %d night %d", day, night)
+	}
+	// Equal day/night spans at quarter intensity: the night count
+	// should sit well under half the day count (exponential noise
+	// keeps the exact ratio loose).
+	if float64(night) > 0.6*float64(day) {
+		t.Fatalf("night arrivals not thinned: day %d, night %d", day, night)
+	}
+}
+
+// TestEngineFlashConcentrates: during the flash window, at least the
+// configured mass of draws lands in the hot set — and the window
+// boundaries are exact in virtual time.
+func TestEngineFlashConcentrates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ops = 4000
+	cfg.Mix = Mix{} // reads only, universe fixed
+	cfg.MeanThink = 20 * time.Millisecond
+	cfg.Shape = Shape{
+		FlashAt:      10 * time.Second,
+		FlashFor:     time.Minute,
+		FlashMass:    0.9,
+		FlashObjects: 2,
+		FlashFirst:   5,
+	}
+	ft := &fakeTarget{delay: time.Millisecond}
+	inFlash, hot, outHot, outside := 0, 0, 0, 0
+	runTapped(t, 9, cfg, ft, func(req Request, at time.Duration) {
+		isHot := req.Object >= 5 && req.Object < 7
+		if cfg.Shape.FlashActive(at) {
+			inFlash++
+			if isHot {
+				hot++
+			}
+			return
+		}
+		outside++
+		if isHot {
+			outHot++
+		}
+	})
+	if inFlash < 500 || outside < 500 {
+		t.Fatalf("want draws on both sides of the window, got %d in / %d out", inFlash, outside)
+	}
+	if frac := float64(hot) / float64(inFlash); frac < 0.85 {
+		t.Fatalf("flash concentration %.2f, want >= 0.85 (hot %d of %d)", frac, hot, inFlash)
+	}
+	if frac := float64(outHot) / float64(outside); frac > 0.5 {
+		t.Fatalf("hot pair dominates outside the flash too (%.2f) — window leaked", frac)
+	}
+}
+
+// TestEngineTapInert: attaching a tap changes neither the stats, the
+// request trace, nor the latency histogram — and Latency() still
+// merges into an instrumented registry identically.
+func TestEngineTapInert(t *testing.T) {
+	cfg := baseConfig()
+	ft1 := &fakeTarget{delay: 30 * time.Millisecond}
+	e1, st1 := runEngine(t, 21, cfg, ft1)
+
+	k := sim.NewKernel(21)
+	ft2 := &fakeTarget{k: k, delay: 30 * time.Millisecond}
+	e2 := NewEngine(k, cfg, ft2)
+	taps := 0
+	e2.Tap(func(req Request, lat time.Duration, ok bool) { taps++ })
+	e2.Start()
+	k.RunWhile(func() bool { return !e2.Done() })
+
+	if st1 != e2.Stats() {
+		t.Fatalf("tap changed stats:\n%+v\n%+v", st1, e2.Stats())
+	}
+	if ft1.trace() != ft2.trace() {
+		t.Fatal("tap changed the request trace")
+	}
+	if taps == 0 {
+		t.Fatal("tap never fired")
+	}
+	l1, l2 := e1.Latency(), e2.Latency()
+	if l1.Count() != l2.Count() || l1.Sum() != l2.Sum() {
+		t.Fatalf("tap changed the latency histogram: %d/%d vs %d/%d",
+			l1.Count(), l1.Sum(), l2.Count(), l2.Sum())
+	}
+	// Read latencies are the read-only slice of the op stream.
+	if rc := e2.ReadLatency().Count(); rc == 0 || rc >= l2.Count() {
+		t.Fatalf("read latency count %d should be a strict nonempty subset of %d", rc, l2.Count())
+	}
+	// Instrumenting after the fact back-fills the same totals: the
+	// registry's histogram is the engine's, merged.
+	reg := obs.NewRegistry()
+	e2.Instrument(reg)
+	if got := reg.CounterValue(obs.NodeWide, "workload", "issued"); got != int64(e2.Stats().Issued) {
+		t.Fatalf("instrumented issued %d, want %d", got, e2.Stats().Issued)
+	}
+	hl := reg.Histogram(obs.NodeWide, "workload", "op_latency_ns")
+	if hl.Count() != l2.Count() || hl.Sum() != l2.Sum() {
+		t.Fatalf("registry op-latency merge diverged: %d/%d vs %d/%d",
+			hl.Count(), hl.Sum(), l2.Count(), l2.Sum())
+	}
+	hr := reg.Histogram(obs.NodeWide, "workload", "read_latency_ns")
+	if hr.Count() != e2.ReadLatency().Count() || hr.Sum() != e2.ReadLatency().Sum() {
+		t.Fatal("registry read-latency merge diverged")
+	}
+}
